@@ -1,0 +1,28 @@
+// Reproduces Figure 10: varying the number of ET columns (n = 2..6) on
+// IMDB. Expected shape: FILTER's advantage grows with n (larger candidate
+// join trees expose more shared sub-join trees to prune with).
+
+#include "harness/experiment.h"
+
+int main(int argc, char** argv) {
+  qbe::BenchArgs args = qbe::ParseBenchArgs(argc, argv, /*default_ets=*/50,
+                                            /*default_scale=*/1.0);
+  qbe::Bundle bundle =
+      qbe::MakeBundle(qbe::DatasetKind::kImdb, args.scale, args.seed);
+  std::vector<qbe::AlgoKind> algos = {qbe::AlgoKind::kVerifyAll,
+                                      qbe::AlgoKind::kSimplePrune,
+                                      qbe::AlgoKind::kFilter};
+  std::vector<std::string> labels;
+  std::vector<qbe::ExperimentPoint> points;
+  for (int n = 2; n <= 6; ++n) {
+    qbe::EtParams params;
+    params.n = n;
+    std::vector<qbe::ExampleTable> ets =
+        bundle.ets->SampleMany(params, args.ets_per_point, args.seed + n);
+    points.push_back(qbe::RunPoint(bundle, ets, algos, 4, args.seed));
+    labels.push_back(std::to_string(n));
+  }
+  qbe::PrintSweep("Figure 10: vary the number of columns (IMDB)", "n",
+                  labels, points);
+  return 0;
+}

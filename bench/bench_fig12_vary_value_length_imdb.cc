@@ -1,0 +1,29 @@
+// Reproduces Figure 12: varying cell value length (v ∈ {1, 2, 3} tokens)
+// on IMDB. Expected shape: verification counts fall with v for every
+// algorithm (longer values are more selective, fewer candidates), with
+// FILTER cheapest throughout.
+
+#include "harness/experiment.h"
+
+int main(int argc, char** argv) {
+  qbe::BenchArgs args = qbe::ParseBenchArgs(argc, argv, /*default_ets=*/50,
+                                            /*default_scale=*/1.0);
+  qbe::Bundle bundle =
+      qbe::MakeBundle(qbe::DatasetKind::kImdb, args.scale, args.seed);
+  std::vector<qbe::AlgoKind> algos = {qbe::AlgoKind::kVerifyAll,
+                                      qbe::AlgoKind::kSimplePrune,
+                                      qbe::AlgoKind::kFilter};
+  std::vector<std::string> labels;
+  std::vector<qbe::ExperimentPoint> points;
+  for (int v = 1; v <= 3; ++v) {
+    qbe::EtParams params;
+    params.v = v;
+    std::vector<qbe::ExampleTable> ets =
+        bundle.ets->SampleMany(params, args.ets_per_point, args.seed + v);
+    points.push_back(qbe::RunPoint(bundle, ets, algos, 4, args.seed));
+    labels.push_back(std::to_string(v));
+  }
+  qbe::PrintSweep("Figure 12: vary cell value length (IMDB)", "v", labels,
+                  points);
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Reproduces Figure 14: the CUST dataset sweeps — (a) vary rows m,
+// (b) vary columns n, (c) vary sparsity s — reporting the number of
+// verifications (the paper shows only that metric for CUST; we print time
+// and cost too since the harness has them anyway). Expected shape mirrors
+// IMDB: FILTER fewest and most robust, with the gap widening at large n
+// and s.
+
+#include "harness/experiment.h"
+#include "harness/table_printer.h"
+
+int main(int argc, char** argv) {
+  qbe::BenchArgs args = qbe::ParseBenchArgs(argc, argv, /*default_ets=*/50,
+                                            /*default_scale=*/1.0);
+  qbe::Bundle bundle =
+      qbe::MakeBundle(qbe::DatasetKind::kCust, args.scale, args.seed);
+  std::vector<qbe::AlgoKind> algos = {qbe::AlgoKind::kVerifyAll,
+                                      qbe::AlgoKind::kSimplePrune,
+                                      qbe::AlgoKind::kFilter};
+
+  {  // (a) vary m
+    std::vector<std::string> labels;
+    std::vector<qbe::ExperimentPoint> points;
+    for (int m = 2; m <= 6; ++m) {
+      qbe::EtParams params;
+      params.m = m;
+      std::vector<qbe::ExampleTable> ets =
+          bundle.ets->SampleMany(params, args.ets_per_point, args.seed + m);
+      points.push_back(qbe::RunPoint(bundle, ets, algos, 4, args.seed));
+      labels.push_back(std::to_string(m));
+    }
+    qbe::PrintSweep("Figure 14(a): vary the number of rows (CUST)", "m",
+                    labels, points);
+  }
+  {  // (b) vary n
+    std::vector<std::string> labels;
+    std::vector<qbe::ExperimentPoint> points;
+    for (int n = 2; n <= 6; ++n) {
+      qbe::EtParams params;
+      params.n = n;
+      std::vector<qbe::ExampleTable> ets = bundle.ets->SampleMany(
+          params, args.ets_per_point, args.seed + 10 + n);
+      points.push_back(qbe::RunPoint(bundle, ets, algos, 4, args.seed));
+      labels.push_back(std::to_string(n));
+    }
+    qbe::PrintSweep("Figure 14(b): vary the number of columns (CUST)", "n",
+                    labels, points);
+  }
+  {  // (c) vary s
+    std::vector<std::string> labels;
+    std::vector<qbe::ExperimentPoint> points;
+    int i = 0;
+    for (double s : {0.0, 0.2, 0.3, 0.5, 0.7}) {
+      qbe::EtParams params;
+      params.s = s;
+      std::vector<qbe::ExampleTable> ets = bundle.ets->SampleMany(
+          params, args.ets_per_point, args.seed + 20 + ++i);
+      points.push_back(qbe::RunPoint(bundle, ets, algos, 4, args.seed));
+      labels.push_back(qbe::FormatDouble(s, 1));
+    }
+    qbe::PrintSweep("Figure 14(c): vary sparsity (CUST)", "s", labels,
+                    points);
+  }
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Reproduces Figure 15: case-by-case behaviour over 250 default-parameter
+// ETs on IMDB — (a) the number of verifications and (b) execution time per
+// individual case. The paper's point is worst-case robustness: FILTER's
+// per-case counts stay bounded while VERIFYALL/SIMPLEPRUNE blow up on bad
+// cases. We print the per-case distribution (percentiles), the counts of
+// cases above thresholds, and the worst cases.
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "harness/experiment.h"
+#include "harness/table_printer.h"
+
+namespace {
+
+double Percentile(std::vector<double> values, double p) {
+  std::sort(values.begin(), values.end());
+  if (values.empty()) return 0;
+  size_t index = static_cast<size_t>(p * (values.size() - 1));
+  return values[index];
+}
+
+int CountAbove(const std::vector<double>& values, double threshold) {
+  int n = 0;
+  for (double v : values) n += v > threshold;
+  return n;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  qbe::BenchArgs args = qbe::ParseBenchArgs(argc, argv, /*default_ets=*/250,
+                                            /*default_scale=*/1.0);
+  qbe::Bundle bundle =
+      qbe::MakeBundle(qbe::DatasetKind::kImdb, args.scale, args.seed);
+  qbe::EtParams params;  // Table 3 defaults
+  std::vector<qbe::ExampleTable> ets =
+      bundle.ets->SampleMany(params, args.ets_per_point, args.seed);
+  qbe::ExperimentPoint point = qbe::RunPoint(
+      bundle, ets,
+      {qbe::AlgoKind::kVerifyAll, qbe::AlgoKind::kSimplePrune,
+       qbe::AlgoKind::kFilter},
+      4, args.seed);
+
+  std::printf("Figure 15: case-by-case performance over %d default ETs\n",
+              args.ets_per_point);
+  std::printf("(a) #verifications distribution\n");
+  qbe::TablePrinter verif({"algo", "p50", "p90", "p99", "max",
+                           "cases > p90(VerifyAll)"});
+  double threshold = Percentile(point.algos[0].per_case_verifications, 0.9);
+  for (const qbe::AlgoAggregate& agg : point.algos) {
+    verif.AddRow(
+        {agg.name, qbe::FormatDouble(Percentile(agg.per_case_verifications, 0.5), 0),
+         qbe::FormatDouble(Percentile(agg.per_case_verifications, 0.9), 0),
+         qbe::FormatDouble(Percentile(agg.per_case_verifications, 0.99), 0),
+         qbe::FormatDouble(agg.max_verifications, 0),
+         std::to_string(CountAbove(agg.per_case_verifications, threshold))});
+  }
+  verif.Print(std::cout);
+
+  std::printf("(b) execution time distribution (ms)\n");
+  qbe::TablePrinter times({"algo", "p50", "p90", "p99", "max"});
+  for (const qbe::AlgoAggregate& agg : point.algos) {
+    times.AddRow({agg.name,
+                  qbe::FormatDouble(Percentile(agg.per_case_millis, 0.5), 2),
+                  qbe::FormatDouble(Percentile(agg.per_case_millis, 0.9), 2),
+                  qbe::FormatDouble(Percentile(agg.per_case_millis, 0.99), 2),
+                  qbe::FormatDouble(agg.max_millis, 2)});
+  }
+  times.Print(std::cout);
+
+  // The worst five cases for VERIFYALL, with FILTER's cost on the same case.
+  std::printf("\nworst VerifyAll cases (per-case verifications):\n");
+  std::vector<size_t> order(ets.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return point.algos[0].per_case_verifications[a] >
+           point.algos[0].per_case_verifications[b];
+  });
+  for (size_t i = 0; i < std::min<size_t>(5, order.size()); ++i) {
+    size_t c = order[i];
+    std::printf("  case %3zu: VerifyAll=%5.0f  SimplePrune=%5.0f  "
+                "Filter=%5.0f\n",
+                c, point.algos[0].per_case_verifications[c],
+                point.algos[1].per_case_verifications[c],
+                point.algos[2].per_case_verifications[c]);
+  }
+  return 0;
+}

@@ -1,0 +1,156 @@
+// Microbenchmarks (google-benchmark) for the substrates behind the query
+// discovery system: tokenizer, FTS index build/probe, master column index,
+// the semijoin executor, subtree enumeration, candidate generation and
+// filter-universe construction. These quantify the paper's claim that
+// candidate generation is "a negligible fraction of the overall query
+// processing time" relative to verification.
+
+#include <benchmark/benchmark.h>
+
+#include "core/candidate_gen.h"
+#include "core/filter_universe.h"
+#include "datagen/imdb_like.h"
+#include "datagen/retailer.h"
+#include "exec/executor.h"
+#include "schema/subtree_enum.h"
+#include "text/tokenizer.h"
+
+namespace qbe {
+namespace {
+
+const Database& ImdbDb() {
+  static const Database& db = *new Database([] {
+    ImdbConfig config;
+    config.scale = 0.5;
+    return MakeImdbLikeDatabase(config);
+  }());
+  return db;
+}
+
+const SchemaGraph& ImdbGraph() {
+  static const SchemaGraph& graph = *new SchemaGraph(ImdbDb());
+  return graph;
+}
+
+ExampleTable NameTitleEt() {
+  ExampleTable et({"A", "B"});
+  et.AddRow({"mike jones", "the silent"});
+  et.AddRow({"mary smith", "the golden"});
+  return et;
+}
+
+void BM_Tokenize(benchmark::State& state) {
+  std::string text = "The Quick Brown Fox, Jumps Over the Lazy Dog 42!";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Tokenize(text));
+  }
+}
+BENCHMARK(BM_Tokenize);
+
+void BM_InvertedIndexBuild(benchmark::State& state) {
+  const Database& db = ImdbDb();
+  int person = db.RelationIdByName("person");
+  const std::vector<std::string>& cells = db.relation(person).TextColumn(1);
+  for (auto _ : state) {
+    InvertedIndex index;
+    index.Build(cells);
+    benchmark::DoNotOptimize(index.num_rows());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(cells.size()));
+}
+BENCHMARK(BM_InvertedIndexBuild);
+
+void BM_PhraseMatch(benchmark::State& state) {
+  const Database& db = ImdbDb();
+  int person = db.RelationIdByName("person");
+  const InvertedIndex& index = db.TextIndex(ColumnRef{person, 1});
+  std::vector<std::string> phrase = {"mike", "jones"};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.MatchPhrase(phrase));
+  }
+}
+BENCHMARK(BM_PhraseMatch);
+
+void BM_ColumnIndexLookup(benchmark::State& state) {
+  const Database& db = ImdbDb();
+  std::vector<std::string> phrase = {"mike"};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.column_index().ColumnsContaining(phrase));
+  }
+}
+BENCHMARK(BM_ColumnIndexLookup);
+
+void BM_ExecutorExists(benchmark::State& state) {
+  const Database& db = ImdbDb();
+  const SchemaGraph& graph = ImdbGraph();
+  Executor exec(db, graph);
+  // person <- cast_info -> title with two predicates.
+  int person = db.RelationIdByName("person");
+  int cast_info = db.RelationIdByName("cast_info");
+  int title = db.RelationIdByName("title");
+  JoinTree tree = JoinTree::Single(cast_info);
+  for (int e : graph.IncidentEdges(cast_info)) {
+    int other = graph.OtherEnd(e, cast_info);
+    if ((other == person && !tree.verts.Test(person)) ||
+        (other == title && !tree.verts.Test(title))) {
+      tree = ExtendTree(tree, graph, e);
+    }
+  }
+  std::vector<PhrasePredicate> predicates = {
+      {ColumnRef{person, 1}, {"mike"}, false},
+      {ColumnRef{title, 1}, {"silent"}, false}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exec.Exists(tree, predicates));
+  }
+}
+BENCHMARK(BM_ExecutorExists);
+
+void BM_SubtreeEnumeration(benchmark::State& state) {
+  const SchemaGraph& graph = ImdbGraph();
+  int max_size = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EnumerateSubtrees(graph, max_size));
+  }
+}
+BENCHMARK(BM_SubtreeEnumeration)->Arg(3)->Arg(4)->Arg(5);
+
+void BM_CandidateGeneration(benchmark::State& state) {
+  const Database& db = ImdbDb();
+  const SchemaGraph& graph = ImdbGraph();
+  ExampleTable et = NameTitleEt();
+  CandidateGenOptions options;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GenerateCandidates(db, graph, et, options));
+  }
+}
+BENCHMARK(BM_CandidateGeneration);
+
+void BM_FilterUniverseBuild(benchmark::State& state) {
+  const Database& db = ImdbDb();
+  const SchemaGraph& graph = ImdbGraph();
+  ExampleTable et = NameTitleEt();
+  std::vector<CandidateQuery> candidates =
+      GenerateCandidates(db, graph, et, {});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildFilterUniverse(graph, et, candidates));
+  }
+  state.counters["candidates"] = static_cast<double>(candidates.size());
+}
+BENCHMARK(BM_FilterUniverseBuild);
+
+void BM_RetailerDiscoveryEndToEnd(benchmark::State& state) {
+  const Database& db = *new Database(MakeRetailerDatabase());
+  const SchemaGraph& graph = *new SchemaGraph(db);
+  ExampleTable et = MakeFigure2ExampleTable();
+  CandidateGenOptions options;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GenerateCandidates(db, graph, et, options));
+  }
+}
+BENCHMARK(BM_RetailerDiscoveryEndToEnd);
+
+}  // namespace
+}  // namespace qbe
+
+BENCHMARK_MAIN();

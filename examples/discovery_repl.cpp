@@ -1,0 +1,106 @@
+// Interactive discovery session (REPL): type example rows one at a time —
+// the way the paper's information worker actually works — and watch the
+// candidate queries narrow. Uses DiscoverySession, so verifications from
+// earlier rows are served from the outcome cache.
+//
+// Commands:
+//   <cell>|<cell>|...   add a row (empty cells allowed: "Mike||Office")
+//   undo                remove the last row
+//   explain             print the full pipeline trace for the current ET
+//   quit
+//
+// Runs against the Figure 1 retailer database by default; pass --imdb for
+// the 21-relation IMDB-like warehouse.
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/explain.h"
+#include "core/session.h"
+#include "datagen/imdb_like.h"
+#include "datagen/retailer.h"
+#include "util/string_util.h"
+
+int main(int argc, char** argv) {
+  bool use_imdb = argc > 1 && std::strcmp(argv[1], "--imdb") == 0;
+  qbe::Database db;
+  if (use_imdb) {
+    qbe::ImdbConfig config;
+    config.scale = 0.5;
+    db = qbe::MakeImdbLikeDatabase(config);
+    std::printf("IMDB-like warehouse loaded (%d relations).\n",
+                db.num_relations());
+  } else {
+    db = qbe::MakeScaledRetailerDatabase(80, 40, 25, 20, 300, 150, 60, 7);
+    std::printf("Retailer database loaded (%d relations). Try: "
+                "Mike|laptop|\n",
+                db.num_relations());
+  }
+
+  qbe::DiscoverySession session(db);
+  std::string line;
+  std::printf("> ");
+  while (std::getline(std::cin, line)) {
+    std::string_view trimmed = qbe::StripWhitespace(line);
+    if (trimmed == "quit" || trimmed == "exit") break;
+    if (trimmed.empty()) {
+      std::printf("> ");
+      continue;
+    }
+    if (trimmed == "undo") {
+      if (session.num_rows() > 0) {
+        session.RemoveLastRow();
+        std::printf("removed last row (%d rows remain)\n",
+                    session.num_rows());
+      }
+      std::printf("> ");
+      continue;
+    }
+    if (trimmed == "explain") {
+      if (session.num_rows() == 0) {
+        std::printf("no rows yet\n> ");
+        continue;
+      }
+      std::printf("%s> ",
+                  qbe::ExplainDiscovery(db, session.table()).ToString()
+                      .c_str());
+      continue;
+    }
+    std::vector<std::string> cells =
+        qbe::SplitString(std::string(trimmed), '|');
+    bool has_value = false;
+    for (const std::string& cell : cells) has_value |= !cell.empty();
+    if (!has_value) {
+      std::printf("row needs at least one non-empty cell\n> ");
+      continue;
+    }
+    if (session.num_rows() > 0 &&
+        static_cast<int>(cells.size()) != session.table().num_columns()) {
+      std::printf("expected %d cells\n> ", session.table().num_columns());
+      continue;
+    }
+    session.AddRow(cells);
+    qbe::DiscoveryResult result = session.Discover();
+    if (!result.ok()) {
+      std::printf("cannot discover yet: %s\n> ", result.error.c_str());
+      continue;
+    }
+    std::printf("%d rows; %zu candidates; %zu valid queries "
+                "(%lld verifications this session, %lld cache hits)\n",
+                session.num_rows(), result.num_candidates,
+                result.queries.size(),
+                static_cast<long long>(session.total_verifications()),
+                static_cast<long long>(session.cache_hits()));
+    for (size_t i = 0; i < result.queries.size() && i < 5; ++i) {
+      std::printf("  [%zu] %s\n", i, result.queries[i].sql.c_str());
+    }
+    if (result.queries.size() > 5) {
+      std::printf("  ... %zu more\n", result.queries.size() - 5);
+    }
+    std::printf("> ");
+  }
+  std::printf("bye\n");
+  return 0;
+}

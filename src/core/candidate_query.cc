@@ -1,0 +1,47 @@
+#include "core/candidate_query.h"
+
+namespace qbe {
+
+bool IsMinimalCandidate(const CandidateQuery& query,
+                        const SchemaGraph& graph) {
+  for (int leaf : query.tree.LeafVertices(graph)) {
+    bool mapped = false;
+    for (const ColumnRef& col : query.projection) {
+      if (col.rel == leaf) {
+        mapped = true;
+        break;
+      }
+    }
+    if (!mapped) return false;
+  }
+  return true;
+}
+
+std::vector<PhrasePredicate> RowPredicates(const CandidateQuery& query,
+                                           const ExampleTable& et, int row) {
+  std::vector<PhrasePredicate> predicates;
+  for (int c = 0; c < et.num_columns(); ++c) {
+    const EtCell& cell = et.cell(row, c);
+    if (cell.IsEmpty()) continue;
+    predicates.push_back(
+        PhrasePredicate{query.projection[c], et.CellTokens(row, c),
+                        cell.exact});
+  }
+  return predicates;
+}
+
+std::string CandidateToString(const CandidateQuery& query, const Database& db,
+                              const SchemaGraph& graph,
+                              const ExampleTable& et) {
+  std::string out = JoinTreeToString(query.tree, graph, db);
+  out += " | ";
+  for (int c = 0; c < et.num_columns(); ++c) {
+    if (c > 0) out += ", ";
+    std::string name = et.column_name(c);
+    if (name.empty()) name = std::string(1, static_cast<char>('A' + c));
+    out += name + "->" + db.QualifiedColumnName(query.projection[c]);
+  }
+  return out;
+}
+
+}  // namespace qbe

@@ -1,0 +1,149 @@
+#include "core/discovery.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "core/filter_verifier.h"
+#include "core/simple_prune.h"
+#include "core/verify_all.h"
+#include "core/weave.h"
+#include "exec/executor.h"
+#include "exec/sql_render.h"
+#include "schema/schema_graph.h"
+#include "util/stopwatch.h"
+
+namespace qbe {
+namespace {
+
+std::unique_ptr<CandidateVerifier> MakeVerifier(
+    const DiscoveryOptions& options) {
+  switch (options.algorithm) {
+    case Algorithm::kVerifyAll:
+      return std::make_unique<VerifyAll>(options.row_order);
+    case Algorithm::kSimplePrune:
+      return std::make_unique<SimplePrune>(options.row_order);
+    case Algorithm::kFilter: {
+      FilterVerifier::Options fo;
+      fo.failure_prior = options.failure_prior;
+      return std::make_unique<FilterVerifier>(fo);
+    }
+    case Algorithm::kFilterExact:
+      // Exact greedy argmax (the lazy accelerated scan is the default).
+      return std::make_unique<FilterVerifier>(options.failure_prior, false);
+    case Algorithm::kWeave:
+      return std::make_unique<JoinTreeWeave>();
+  }
+  return nullptr;
+}
+
+/// Ranking score (§8 future work): prefer fewer joins (simpler
+/// explanations) and more selective projection columns (mappings where the
+/// ET values pin down few base rows are likelier to reflect user intent).
+double RankScore(const Database& db, const ExampleTable& et,
+                 const CandidateQuery& query) {
+  double selectivity_sum = 0.0;
+  int cells = 0;
+  for (int c = 0; c < et.num_columns(); ++c) {
+    const InvertedIndex& index = db.TextIndex(query.projection[c]);
+    for (int r = 0; r < et.num_rows(); ++r) {
+      if (et.cell(r, c).IsEmpty()) continue;
+      size_t matches = index.MatchPhrase(et.CellTokens(r, c)).size();
+      selectivity_sum += index.num_rows() == 0
+                             ? 0.0
+                             : static_cast<double>(matches) /
+                                   static_cast<double>(index.num_rows());
+      ++cells;
+    }
+  }
+  double avg_selectivity = cells == 0 ? 0.0 : selectivity_sum / cells;
+  return 1.0 / query.tree.NumVertices() + 0.5 * (1.0 - avg_selectivity);
+}
+
+}  // namespace
+
+DiscoveryResult DiscoverQueries(const Database& db, const ExampleTable& et,
+                                const DiscoveryOptions& options) {
+  DiscoveryResult result;
+  if (!et.IsWellFormed()) {
+    result.error =
+        "example table must be non-empty with no fully-empty row or column";
+    return result;
+  }
+
+  SchemaGraph graph(db);
+  Executor exec(db, graph);
+
+  Stopwatch gen_timer;
+  CandidateGenOptions gen_options;
+  gen_options.max_join_tree_size = options.max_join_tree_size;
+  gen_options.max_candidates = options.max_candidates;
+  std::vector<std::vector<ColumnRef>> candidate_columns =
+      options.min_row_support >= 0
+          ? RetrieveCandidateColumnsRelaxed(db, et, options.min_row_support)
+          : RetrieveCandidateColumns(db, et);
+  for (const auto& cols : candidate_columns) {
+    result.candidate_columns_per_et_column.push_back(cols.size());
+  }
+  std::vector<CandidateQuery> candidates = EnumerateCandidateQueries(
+      db, graph, et, candidate_columns, gen_options);
+  result.candidate_gen_seconds = gen_timer.ElapsedSeconds();
+  result.num_candidates = candidates.size();
+  if (candidates.empty()) return result;
+
+  VerifyContext ctx{db,         graph,      exec, et,
+                    candidates, options.seed, options.cache};
+
+  std::vector<int> matched(candidates.size(), 0);
+  std::vector<bool> keep(candidates.size(), false);
+  if (options.min_row_support >= 0) {
+    // Relaxed validity: count matching rows per candidate (no early
+    // elimination — every row's outcome matters) and keep those meeting
+    // the support threshold.
+    int need = std::min(options.min_row_support, et.num_rows());
+    EvalEngine engine(ctx, &result.counters);
+    Stopwatch timer;
+    for (size_t q = 0; q < candidates.size(); ++q) {
+      for (int r = 0; r < et.num_rows(); ++r) {
+        // Early exit only when the threshold is provably unreachable.
+        int remaining = et.num_rows() - r;
+        if (matched[q] + remaining < need) break;
+        if (engine.EvaluateCandidateRow(static_cast<int>(q), r)) {
+          matched[q] += 1;
+        }
+      }
+      keep[q] = matched[q] >= need;
+    }
+    result.counters.elapsed_seconds += timer.ElapsedSeconds();
+  } else {
+    std::unique_ptr<CandidateVerifier> verifier = MakeVerifier(options);
+    std::vector<bool> valid = verifier->Verify(ctx, &result.counters);
+    for (size_t q = 0; q < candidates.size(); ++q) {
+      keep[q] = valid[q];
+      matched[q] = valid[q] ? et.num_rows() : 0;
+    }
+  }
+
+  std::vector<std::string> labels;
+  for (int c = 0; c < et.num_columns(); ++c)
+    labels.push_back(et.column_name(c));
+  for (size_t q = 0; q < candidates.size(); ++q) {
+    if (!keep[q]) continue;
+    DiscoveredQuery out;
+    out.query = candidates[q];
+    out.sql = RenderProjectJoinSql(db, graph, candidates[q].tree,
+                                   candidates[q].projection, labels);
+    out.matched_rows = matched[q];
+    out.score =
+        options.rank_results ? RankScore(db, et, candidates[q]) : 0.0;
+    result.queries.push_back(std::move(out));
+  }
+  if (options.rank_results) {
+    std::stable_sort(result.queries.begin(), result.queries.end(),
+                     [](const DiscoveredQuery& a, const DiscoveredQuery& b) {
+                       return a.score > b.score;
+                     });
+  }
+  return result;
+}
+
+}  // namespace qbe

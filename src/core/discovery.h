@@ -1,0 +1,88 @@
+#ifndef QBE_CORE_DISCOVERY_H_
+#define QBE_CORE_DISCOVERY_H_
+
+#include <string>
+#include <vector>
+
+#include "core/candidate_gen.h"
+#include "core/candidate_query.h"
+#include "core/example_table.h"
+#include "core/verifier.h"
+#include "storage/database.h"
+
+namespace qbe {
+
+/// Which candidate-verification algorithm drives discovery. All produce
+/// identical valid sets; they differ in cost (§2.3).
+enum class Algorithm {
+  kVerifyAll,
+  kSimplePrune,
+  kFilter,
+  kFilterExact,
+  kWeave,
+};
+
+struct DiscoveryOptions {
+  /// Maximal join length l (Table 3 default).
+  int max_join_tree_size = 4;
+
+  Algorithm algorithm = Algorithm::kFilter;
+
+  /// Row order for the baseline algorithms.
+  RowOrder row_order = RowOrder::kDenseFirst;
+
+  /// p̂ of FILTER's probabilistic model (§5.3.1).
+  double failure_prior = 0.1;
+
+  /// Seed for any randomized choices (e.g., RowOrder::kRandom).
+  uint64_t seed = 42;
+
+  /// Relaxed validity (paper §8 future work): when ≥ 0, a query is
+  /// reported if it contains at least this many ET rows in its output
+  /// instead of all of them. −1 keeps the paper's strict semantics.
+  int min_row_support = -1;
+
+  /// Rank the valid queries (paper §8 future work): simpler join trees and
+  /// more selective projection columns first.
+  bool rank_results = true;
+
+  size_t max_candidates = 200000;
+
+  /// Optional shared verification-outcome cache (see EvalCache); used by
+  /// DiscoverySession to make incremental refinement cheap. Not owned.
+  EvalCache* cache = nullptr;
+};
+
+/// One discovered query: the minimal valid project-join query, its SQL
+/// rendering, the rows it matched, and a ranking score (higher = better).
+struct DiscoveredQuery {
+  CandidateQuery query;
+  std::string sql;
+  int matched_rows = 0;
+  double score = 0.0;
+};
+
+struct DiscoveryResult {
+  std::vector<DiscoveredQuery> queries;
+  /// All minimal candidate queries considered (Figure 3's denominator).
+  size_t num_candidates = 0;
+  /// Per-ET-column candidate projection column counts.
+  std::vector<size_t> candidate_columns_per_et_column;
+  double candidate_gen_seconds = 0.0;
+  VerificationCounters counters;
+  /// Empty on success; otherwise why discovery refused the input (e.g. an
+  /// example table with a fully-empty row or column, Definition 1).
+  std::string error;
+
+  bool ok() const { return error.empty(); }
+};
+
+/// End-to-end query discovery (the system task of §2.2): candidate
+/// generation (§3.2) followed by candidate verification with the selected
+/// algorithm. The database must have its indexes built.
+DiscoveryResult DiscoverQueries(const Database& db, const ExampleTable& et,
+                                const DiscoveryOptions& options = {});
+
+}  // namespace qbe
+
+#endif  // QBE_CORE_DISCOVERY_H_

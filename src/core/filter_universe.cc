@@ -1,0 +1,90 @@
+#include "core/filter_universe.h"
+
+#include <unordered_map>
+
+#include "schema/subtree_enum.h"
+#include "util/check.h"
+
+namespace qbe {
+
+FilterUniverse BuildFilterUniverse(
+    const SchemaGraph& graph, const ExampleTable& et,
+    const std::vector<CandidateQuery>& candidates) {
+  FilterUniverse u;
+  u.filters_of_query.resize(candidates.size());
+  u.basic_filters_of_query.resize(candidates.size());
+
+  // Candidates frequently share join trees (only φ differs), so the
+  // connected-subtree enumeration is cached per distinct tree.
+  std::unordered_map<JoinTree, std::vector<JoinTree>, JoinTreeHash>
+      subtree_cache;
+  std::unordered_map<Filter, int, FilterHash> filter_ids;
+
+  for (size_t q = 0; q < candidates.size(); ++q) {
+    const CandidateQuery& query = candidates[q];
+    auto it = subtree_cache.find(query.tree);
+    if (it == subtree_cache.end()) {
+      it = subtree_cache
+               .emplace(query.tree,
+                        EnumerateSubtreesOfTree(query.tree, graph))
+               .first;
+    }
+    for (int row = 0; row < et.num_rows(); ++row) {
+      for (const JoinTree& subtree : it->second) {
+        Filter f = MakeFilter(query, subtree, et, row);
+        bool is_basic = subtree == query.tree;
+        auto [fit, inserted] =
+            filter_ids.emplace(std::move(f), u.num_filters());
+        if (inserted) {
+          u.filters.push_back(fit->first);
+          u.queries_of_filter.emplace_back();
+        }
+        int fid = fit->second;
+        u.filters_of_query[q].push_back(fid);
+        u.queries_of_filter[fid].push_back(static_cast<int>(q));
+        if (is_basic) u.basic_filters_of_query[q].push_back(fid);
+      }
+    }
+    QBE_CHECK(static_cast<int>(u.basic_filters_of_query[q].size()) ==
+              et.num_rows());
+  }
+
+  // Dependency lists. First the subtree relation on the (few) distinct
+  // trees, then per-row filter buckets refined by the φ-agreement test.
+  std::unordered_map<JoinTree, int, JoinTreeHash> tree_ids;
+  std::vector<const JoinTree*> trees;
+  std::vector<std::vector<std::vector<int>>> buckets;  // [row][tree] -> fids
+  buckets.resize(et.num_rows());
+  for (int f = 0; f < u.num_filters(); ++f) {
+    const Filter& filter = u.filters[f];
+    auto [tit, inserted] =
+        tree_ids.emplace(filter.tree, static_cast<int>(trees.size()));
+    if (inserted) {
+      trees.push_back(&tit->first);
+      for (auto& per_row : buckets) per_row.emplace_back();
+    }
+    buckets[filter.row][tit->second].push_back(f);
+  }
+
+  u.supers_of.resize(u.num_filters());
+  u.subs_of.resize(u.num_filters());
+  for (size_t t1 = 0; t1 < trees.size(); ++t1) {
+    for (size_t t2 = 0; t2 < trees.size(); ++t2) {
+      if (!trees[t1]->IsSubtreeOf(*trees[t2])) continue;
+      for (int row = 0; row < et.num_rows(); ++row) {
+        for (int f1 : buckets[row][t1]) {
+          for (int f2 : buckets[row][t2]) {
+            if (f1 == f2) continue;
+            if (IsSubFilterOf(u.filters[f1], u.filters[f2])) {
+              u.supers_of[f1].push_back(f2);
+              u.subs_of[f2].push_back(f1);
+            }
+          }
+        }
+      }
+    }
+  }
+  return u;
+}
+
+}  // namespace qbe

@@ -1,0 +1,46 @@
+#ifndef QBE_CORE_FILTER_UNIVERSE_H_
+#define QBE_CORE_FILTER_UNIVERSE_H_
+
+#include <vector>
+
+#include "core/candidate_query.h"
+#include "core/example_table.h"
+#include "core/filter.h"
+#include "schema/schema_graph.h"
+
+namespace qbe {
+
+/// The deduplicated set F = ∪_Q F(Q) of all filters of all candidates
+/// (§5.2), with the bipartite membership structure and the sub-filter
+/// dependency lists needed by Algorithm 1:
+///
+///  * queries_of_filter[f]  — Q→−(F): candidates Q with F ∈ F(Q); a failed
+///    filter invalidates exactly these (Lemma 2).
+///  * filters_of_query[q]   — F(Q).
+///  * basic_filters_of_query[q] — FB(Q): one filter per ET row (J' = J).
+///  * supers_of[f] — F→−(F) \ {F}: failure of f implies failure of these
+///    (Lemma 3).
+///  * subs_of[f]   — F→+(F) \ {F}: success of f implies success of these
+///    (Lemma 4).
+struct FilterUniverse {
+  std::vector<Filter> filters;
+  std::vector<std::vector<int>> queries_of_filter;
+  std::vector<std::vector<int>> filters_of_query;
+  std::vector<std::vector<int>> basic_filters_of_query;
+  std::vector<std::vector<int>> supers_of;
+  std::vector<std::vector<int>> subs_of;
+
+  int num_filters() const { return static_cast<int>(filters.size()); }
+};
+
+/// Builds the universe: enumerates the connected subtrees of every
+/// candidate's join tree × every ET row, deduplicates filters shared across
+/// candidates, and materializes the dependency lists.
+FilterUniverse BuildFilterUniverse(const SchemaGraph& graph,
+                                   const ExampleTable& et,
+                                   const std::vector<CandidateQuery>&
+                                       candidates);
+
+}  // namespace qbe
+
+#endif  // QBE_CORE_FILTER_UNIVERSE_H_

@@ -1,0 +1,18 @@
+#include "core/keyword_search.h"
+
+#include "util/check.h"
+
+namespace qbe {
+
+DiscoveryResult DiscoverByKeywords(const Database& db,
+                                   const std::vector<std::string>& keywords,
+                                   const DiscoveryOptions& options) {
+  QBE_CHECK_MSG(!keywords.empty(), "at least one keyword required");
+  ExampleTable et =
+      ExampleTable::WithColumns(static_cast<int>(keywords.size()));
+  et.AddRow(keywords);
+  QBE_CHECK_MSG(et.IsWellFormed(), "keywords must be non-empty strings");
+  return DiscoverQueries(db, et, options);
+}
+
+}  // namespace qbe

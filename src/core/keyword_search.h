@@ -1,0 +1,26 @@
+#ifndef QBE_CORE_KEYWORD_SEARCH_H_
+#define QBE_CORE_KEYWORD_SEARCH_H_
+
+#include <string>
+#include <vector>
+
+#include "core/discovery.h"
+#include "storage/database.h"
+
+namespace qbe {
+
+/// Keyword search over joins — the single-tuple special case the related
+/// work (DISCOVER-style systems, §7) solves, expressed through this
+/// library: each keyword/phrase becomes one column of a one-row example
+/// table, and the minimal valid project-join queries are exactly the join
+/// trees containing one joined row that mentions every keyword. Exposed
+/// because it is a genuinely useful degenerate mode (m = 1 means no column
+/// constraints beyond the single row, hence the largest candidate sets —
+/// where the FILTER algorithm matters most).
+DiscoveryResult DiscoverByKeywords(const Database& db,
+                                   const std::vector<std::string>& keywords,
+                                   const DiscoveryOptions& options = {});
+
+}  // namespace qbe
+
+#endif  // QBE_CORE_KEYWORD_SEARCH_H_

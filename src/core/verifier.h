@@ -1,0 +1,124 @@
+#ifndef QBE_CORE_VERIFIER_H_
+#define QBE_CORE_VERIFIER_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/candidate_query.h"
+#include "core/example_table.h"
+#include "core/filter.h"
+#include "exec/executor.h"
+#include "schema/schema_graph.h"
+#include "storage/database.h"
+
+namespace qbe {
+
+/// Row orderings for the baseline verifiers (§4.1): as given, uniformly
+/// shuffled, or densest row first (candidates are likelier to fail on
+/// densely populated rows, enabling early elimination).
+enum class RowOrder { kGiven, kRandom, kDenseFirst };
+
+/// Performance accounting shared by all verification algorithms; these are
+/// the metrics of §6.1 (number of verifications, total estimated cost = sum
+/// of join-tree sizes, execution time) plus the tuple-tree memory footprint
+/// of Figure 16.
+struct VerificationCounters {
+  int64_t verifications = 0;
+  int64_t estimated_cost = 0;
+  double elapsed_seconds = 0.0;
+  int64_t pruned_without_verification = 0;
+  size_t peak_memory_bytes = 0;
+
+  void Add(const VerificationCounters& other) {
+    verifications += other.verifications;
+    estimated_cost += other.estimated_cost;
+    elapsed_seconds += other.elapsed_seconds;
+    pruned_without_verification += other.pruned_without_verification;
+    if (other.peak_memory_bytes > peak_memory_bytes) {
+      peak_memory_bytes = other.peak_memory_bytes;
+    }
+  }
+};
+
+/// Cross-run cache of verification outcomes. A filter's result is fully
+/// determined by its join tree and predicate set (the ET row is only a
+/// source of predicate values), so outcomes can be reused across reruns
+/// and across incremental discovery steps (DiscoverySession): adding a new
+/// ET row leaves every prior row's evaluations valid.
+struct EvalCache {
+  std::unordered_map<std::string, bool> outcomes;
+  int64_t hits = 0;
+
+  size_t size() const { return outcomes.size(); }
+};
+
+/// Everything a verification algorithm needs; all references must outlive
+/// the call.
+struct VerifyContext {
+  const Database& db;
+  const SchemaGraph& graph;
+  const Executor& exec;
+  const ExampleTable& et;
+  const std::vector<CandidateQuery>& candidates;
+  uint64_t seed = 42;
+  /// Optional shared outcome cache; cached answers are served without a
+  /// verification (and without charging the counters).
+  EvalCache* cache = nullptr;
+};
+
+/// Counting wrapper around the executor: evaluates one filter / CQ-row
+/// verification (they are the same operation — a candidate-row check is the
+/// candidate's basic filter) and charges the counters. Filters with no
+/// predicates depend only on the join tree, so their outcome is memoized —
+/// re-asking whether a join is non-empty is free, exactly as a DBMS would
+/// answer from cache.
+class EvalEngine {
+ public:
+  EvalEngine(const VerifyContext& ctx, VerificationCounters* counters)
+      : ctx_(ctx), counters_(counters) {}
+
+  /// Evaluates `filter` (Definition 6). Returns true on success.
+  bool EvaluateFilter(const Filter& filter);
+
+  /// Evaluates candidate `q` for ET row `row` (§4.1's CQ-row verification).
+  bool EvaluateCandidateRow(int q, int row);
+
+ private:
+  /// Executes (or serves from the shared cache) an existence query.
+  bool Execute(const JoinTree& tree,
+               const std::vector<PhrasePredicate>& predicates, int cost);
+
+  const VerifyContext& ctx_;
+  VerificationCounters* counters_;
+  std::unordered_map<JoinTree, bool, JoinTreeHash> empty_join_cache_;
+};
+
+/// Canonical cache key for an existence query: join-tree identity plus the
+/// sorted predicate set. Exposed for tests.
+std::string EvalCacheKey(const Database& db, const JoinTree& tree,
+                         const std::vector<PhrasePredicate>& predicates);
+
+/// Returns row indices in the requested order (deterministic given `seed`).
+std::vector<int> MakeRowOrder(const ExampleTable& et, RowOrder order,
+                              uint64_t seed);
+
+/// Interface implemented by VERIFYALL, SIMPLEPRUNE, FILTER and WEAVE. All
+/// implementations return the same validity vector (the correct set of
+/// minimal valid queries); they differ only in cost — the paper's central
+/// framing.
+class CandidateVerifier {
+ public:
+  virtual ~CandidateVerifier() = default;
+  virtual std::string name() const = 0;
+
+  /// Returns valid[i] = whether candidates[i] is valid w.r.t. the whole ET,
+  /// and fills `counters`.
+  virtual std::vector<bool> Verify(const VerifyContext& ctx,
+                                   VerificationCounters* counters) = 0;
+};
+
+}  // namespace qbe
+
+#endif  // QBE_CORE_VERIFIER_H_

@@ -1,0 +1,113 @@
+#include "core/verify_all.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace qbe {
+
+std::string EvalCacheKey(const Database& db, const JoinTree& tree,
+                         const std::vector<PhrasePredicate>& predicates) {
+  std::string key;
+  tree.verts.ForEach([&](int v) { key += 'v' + std::to_string(v); });
+  tree.edges.ForEach([&](int e) { key += 'e' + std::to_string(e); });
+  std::vector<std::string> parts;
+  parts.reserve(predicates.size());
+  for (const PhrasePredicate& pred : predicates) {
+    std::string part =
+        std::to_string(db.TextColumnGid(pred.column)) + (pred.exact ? "!" : ":");
+    for (const std::string& token : pred.tokens) part += token + ' ';
+    parts.push_back(std::move(part));
+  }
+  std::sort(parts.begin(), parts.end());
+  for (const std::string& part : parts) {
+    key += '|';
+    key += part;
+  }
+  return key;
+}
+
+bool EvalEngine::Execute(const JoinTree& tree,
+                         const std::vector<PhrasePredicate>& predicates,
+                         int cost) {
+  if (ctx_.cache != nullptr) {
+    std::string key = EvalCacheKey(ctx_.db, tree, predicates);
+    auto it = ctx_.cache->outcomes.find(key);
+    if (it != ctx_.cache->outcomes.end()) {
+      ctx_.cache->hits += 1;
+      return it->second;
+    }
+    counters_->verifications += 1;
+    counters_->estimated_cost += cost;
+    bool ok = ctx_.exec.Exists(tree, predicates);
+    ctx_.cache->outcomes.emplace(std::move(key), ok);
+    return ok;
+  }
+  counters_->verifications += 1;
+  counters_->estimated_cost += cost;
+  return ctx_.exec.Exists(tree, predicates);
+}
+
+bool EvalEngine::EvaluateFilter(const Filter& filter) {
+  std::vector<PhrasePredicate> predicates = FilterPredicates(filter, ctx_.et);
+  if (predicates.empty()) {
+    // Outcome depends only on the join tree; memoize (see class comment).
+    auto it = empty_join_cache_.find(filter.tree);
+    if (it != empty_join_cache_.end()) return it->second;
+    bool ok = Execute(filter.tree, predicates, filter.Cost());
+    empty_join_cache_.emplace(filter.tree, ok);
+    return ok;
+  }
+  return Execute(filter.tree, predicates, filter.Cost());
+}
+
+bool EvalEngine::EvaluateCandidateRow(int q, int row) {
+  const CandidateQuery& query = ctx_.candidates[q];
+  return Execute(query.tree, RowPredicates(query, ctx_.et, row),
+                 query.tree.NumVertices());
+}
+
+std::vector<int> MakeRowOrder(const ExampleTable& et, RowOrder order,
+                              uint64_t seed) {
+  std::vector<int> rows(et.num_rows());
+  std::iota(rows.begin(), rows.end(), 0);
+  switch (order) {
+    case RowOrder::kGiven:
+      break;
+    case RowOrder::kRandom: {
+      Rng rng(seed);
+      rng.Shuffle(rows);
+      break;
+    }
+    case RowOrder::kDenseFirst:
+      std::stable_sort(rows.begin(), rows.end(), [&](int a, int b) {
+        return et.NonEmptyCellCount(a) > et.NonEmptyCellCount(b);
+      });
+      break;
+  }
+  return rows;
+}
+
+std::vector<bool> VerifyAll::Verify(const VerifyContext& ctx,
+                                    VerificationCounters* counters) {
+  Stopwatch timer;
+  EvalEngine engine(ctx, counters);
+  std::vector<int> row_order = MakeRowOrder(ctx.et, row_order_, ctx.seed);
+  std::vector<bool> valid(ctx.candidates.size(), false);
+  for (size_t q = 0; q < ctx.candidates.size(); ++q) {
+    bool ok = true;
+    for (int row : row_order) {
+      if (!engine.EvaluateCandidateRow(static_cast<int>(q), row)) {
+        ok = false;
+        break;  // eliminated; skip remaining rows
+      }
+    }
+    valid[q] = ok;
+  }
+  counters->elapsed_seconds += timer.ElapsedSeconds();
+  return valid;
+}
+
+}  // namespace qbe

@@ -1,0 +1,28 @@
+#ifndef QBE_CORE_VERIFY_ALL_H_
+#define QBE_CORE_VERIFY_ALL_H_
+
+#include "core/verifier.h"
+
+namespace qbe {
+
+/// VERIFYALL (§4.1): verifies every candidate for every ET row with one
+/// CQ-row SQL query each, eliminating a candidate at its first failing row.
+/// Candidate order is irrelevant to the verification count; row order is
+/// not — dense rows first tends to fail candidates earlier.
+class VerifyAll : public CandidateVerifier {
+ public:
+  explicit VerifyAll(RowOrder row_order = RowOrder::kDenseFirst)
+      : row_order_(row_order) {}
+
+  std::string name() const override { return "VerifyAll"; }
+
+  std::vector<bool> Verify(const VerifyContext& ctx,
+                           VerificationCounters* counters) override;
+
+ private:
+  RowOrder row_order_;
+};
+
+}  // namespace qbe
+
+#endif  // QBE_CORE_VERIFY_ALL_H_

@@ -1,0 +1,267 @@
+#include "datagen/cust_like.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "datagen/names.h"
+#include "datagen/text_gen.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace qbe {
+namespace {
+
+constexpr int kNumFacts = 15;
+constexpr int kNumDims = 30;
+constexpr int kNumStandalone = 55;
+
+/// Text-column content domains. Cycling columns through a small set of
+/// shared domains reproduces the key property of real enterprise text: the
+/// same customer / product / city names recur in many unrelated columns, so
+/// an ET value rarely pins down a single candidate projection column.
+enum class Domain {
+  kPerson,
+  kCompany,
+  kProduct,
+  kPlace,
+  kNote,
+  kIssue,
+  kStatus,
+};
+
+constexpr Domain kDomainCycle[] = {
+    Domain::kPerson, Domain::kNote,  Domain::kProduct, Domain::kPlace,
+    Domain::kIssue,  Domain::kCompany, Domain::kStatus,
+};
+
+/// `salt` differentiates relations for the low-cardinality domains: a
+/// status or site column drawing from one tiny global vocabulary would
+/// match *every* same-domain column in the schema and blow the candidate
+/// counts far past the paper's — real warehouses use per-application
+/// status vocabularies and per-site location codes.
+std::string DomainValue(Domain domain, const TextGenerator& text, Rng& rng,
+                        int salt) {
+  switch (domain) {
+    case Domain::kPerson:
+      return text.PersonName(rng);
+    case Domain::kCompany:
+      return text.CompanyName(rng);
+    case Domain::kProduct:
+      return text.ProductName(rng);
+    case Domain::kPlace: {
+      // City plus a site code drawn from a relation-biased range.
+      std::string place = text.Place(rng);
+      place += " site ";
+      place += std::to_string((salt * 7 + rng.NextInRange(0, 9)) % 60);
+      return place;
+    }
+    case Domain::kNote:
+      return text.NotePhrase(rng, 2, 5);
+    case Domain::kIssue: {
+      std::string issue(text.Word(rng, TechWords()));
+      issue += ' ';
+      issue += text.Word(rng, Verbs());
+      return issue;
+    }
+    case Domain::kStatus: {
+      static constexpr const char* kStatuses[] = {
+          "open",      "closed",    "pending",    "resolved",
+          "escalated", "assigned",  "duplicate",  "wontfix",
+          "triaged",   "deferred",  "reopened",   "blocked",
+          "verified",  "rejected",  "in review",  "on hold"};
+      // Each relation's workflow uses its own 4-state subset.
+      return kStatuses[(salt * 3 + rng.NextBounded(4)) % 16];
+    }
+  }
+  return "";
+}
+
+const char* DomainColumnName(Domain domain) {
+  switch (domain) {
+    case Domain::kPerson:
+      return "person";
+    case Domain::kCompany:
+      return "company";
+    case Domain::kProduct:
+      return "product";
+    case Domain::kPlace:
+      return "location";
+    case Domain::kNote:
+      return "note";
+    case Domain::kIssue:
+      return "issue";
+    case Domain::kStatus:
+      return "status";
+  }
+  return "text";
+}
+
+struct RelationPlan {
+  std::string name;
+  int rows;
+  std::vector<int> fk_targets;  // dimension indices (facts only)
+  int extra_ids;                // id columns beyond pk and fks
+  int text_cols;
+};
+
+}  // namespace
+
+Database MakeCustLikeDatabase(const CustConfig& config) {
+  Rng rng(config.seed);
+  TextGenerator text(0.55);
+  // Standalone aux tables draw from the same pools but near-uniformly: in a
+  // real warehouse an ET value rarely pins down an unrelated log/config
+  // table, because those tables hold their own long-tail identifiers. With
+  // Zipf-heavy aux content every common name would satisfy the column
+  // constraint in dozens of aux columns and candidate counts explode far
+  // beyond the paper's.
+  TextGenerator aux_text(0.15);
+
+  auto scaled = [&](int base) {
+    return std::max(8, static_cast<int>(base * config.scale));
+  };
+
+  // ---- plan the schema so the Table 2 statistics come out exactly --------
+  // Facts: pk + fks + 1 measure id + 4 text. The first three facts carry a
+  // fifth FK: 3*5 + 12*4 = 63 edges.
+  // Dims: pk + 1 extra id + 6 text.
+  // Standalone: 9 ids (10 for the first) + 6 text (7 for the first 44).
+  // Totals: ids 3*7+12*6 + 30*2 + 54*9+10 = 649; text 15*4+30*6+374 = 614;
+  // columns 649 + 614 = 1263 over 15 + 30 + 55 = 100 relations.
+  std::vector<RelationPlan> plans;
+  for (int d = 0; d < kNumDims; ++d) {
+    plans.push_back(RelationPlan{"dim_" + std::to_string(d),
+                                 scaled(300 + 40 * (d % 7)),
+                                 {},
+                                 1,
+                                 6});
+  }
+  for (int f = 0; f < kNumFacts; ++f) {
+    RelationPlan plan;
+    plan.name = "fact_" + std::to_string(f);
+    plan.rows = scaled(2000 + 300 * (f % 5));
+    int num_fks = f < 3 ? 5 : 4;
+    for (int k = 0; k < num_fks; ++k) {
+      plan.fk_targets.push_back((f * 4 + k * 7) % kNumDims);
+    }
+    // Multiple FKs from one fact to the same dimension are legal (labeled
+    // edges) but make column naming awkward; deduplicate targets.
+    std::sort(plan.fk_targets.begin(), plan.fk_targets.end());
+    for (size_t k = 1; k < plan.fk_targets.size(); ++k) {
+      while (std::find(plan.fk_targets.begin(), plan.fk_targets.begin() + k,
+                       plan.fk_targets[k]) != plan.fk_targets.begin() + k) {
+        plan.fk_targets[k] = (plan.fk_targets[k] + 1) % kNumDims;
+      }
+    }
+    plan.extra_ids = 1;
+    plan.text_cols = 4;
+    plans.push_back(std::move(plan));
+  }
+  for (int a = 0; a < kNumStandalone; ++a) {
+    plans.push_back(RelationPlan{"aux_" + std::to_string(a),
+                                 scaled(100 + 20 * (a % 9)),
+                                 {},
+                                 a == 0 ? 9 : 8,
+                                 a < 44 ? 7 : 6});
+  }
+  QBE_CHECK(static_cast<int>(plans.size()) == kCustRelations);
+
+  // ---- create relations ---------------------------------------------------
+  Database db;
+  int domain_cursor = 0;
+  std::vector<std::vector<Domain>> text_domains(plans.size());
+  std::vector<int> dim_rows(kNumDims);
+  for (size_t p = 0; p < plans.size(); ++p) {
+    const RelationPlan& plan = plans[p];
+    if (p < kNumDims) dim_rows[p] = plan.rows;
+    std::vector<ColumnDef> defs;
+    defs.push_back(ColumnDef{plan.name + "_id", ColumnType::kId});
+    for (size_t k = 0; k < plan.fk_targets.size(); ++k) {
+      defs.push_back(ColumnDef{"dim_" + std::to_string(plan.fk_targets[k]) +
+                                   "_id",
+                               ColumnType::kId});
+    }
+    for (int k = 0; k < plan.extra_ids; ++k) {
+      defs.push_back(ColumnDef{"num" + std::to_string(k), ColumnType::kId});
+    }
+    constexpr int kNumDomains =
+        sizeof(kDomainCycle) / sizeof(kDomainCycle[0]);
+    for (int k = 0; k < plan.text_cols; ++k) {
+      // Dimensions are themed like real warehouse dims (a customer dim is
+      // mostly person columns, a product dim mostly product columns): they
+      // alternate between a primary and a secondary domain. Facts and aux
+      // tables cycle through all domains.
+      Domain domain;
+      if (p < kNumDims) {
+        Domain primary = kDomainCycle[p % kNumDomains];
+        Domain secondary = kDomainCycle[(p + 3) % kNumDomains];
+        domain = k % 3 == 2 ? secondary : primary;
+      } else {
+        domain = kDomainCycle[domain_cursor++ % kNumDomains];
+      }
+      text_domains[p].push_back(domain);
+      std::string col_name = DomainColumnName(domain);
+      int uses = static_cast<int>(
+          std::count(text_domains[p].begin(), text_domains[p].end(), domain));
+      if (uses > 1) col_name += std::to_string(uses);
+      defs.push_back(ColumnDef{std::move(col_name), ColumnType::kText});
+    }
+    db.AddRelation(Relation(plan.name, std::move(defs)));
+  }
+
+  // ---- foreign keys --------------------------------------------------------
+  int edges = 0;
+  for (size_t p = kNumDims; p < kNumDims + kNumFacts; ++p) {
+    const RelationPlan& plan = plans[p];
+    for (int target : plan.fk_targets) {
+      std::string dim = "dim_" + std::to_string(target);
+      db.AddForeignKey(plan.name, dim + "_id", dim, dim + "_id");
+      ++edges;
+    }
+  }
+  QBE_CHECK(edges == kCustEdges);
+
+  // ---- populate ------------------------------------------------------------
+  for (size_t p = 0; p < plans.size(); ++p) {
+    const RelationPlan& plan = plans[p];
+    Relation& rel = db.mutable_relation(static_cast<int>(p));
+    for (int row = 1; row <= plan.rows; ++row) {
+      std::vector<Value> values;
+      values.emplace_back(int64_t{row});
+      for (int target : plan.fk_targets) {
+        values.emplace_back(rng.NextInRange(1, dim_rows[target]));
+      }
+      for (int k = 0; k < plan.extra_ids; ++k) {
+        values.emplace_back(rng.NextInRange(0, 99999));
+      }
+      // Value distributions: the *first* column of a domain in a relation
+      // draws from the shared Zipf-heavy pools (cross-relation ambiguity);
+      // repeat columns of the same domain and all aux tables draw from the
+      // near-uniform long tail. Without this, a dim with four person
+      // columns would give every ET person value four interchangeable
+      // mappings inside one relation and candidate counts would explode
+      // combinatorially (real warehouse dims have one primary name column,
+      // not four equally-likely ones).
+      bool domain_seen[8] = {};
+      bool is_aux = plan.name[0] == 'a';  // aux_* vs dim_*/fact_*
+      for (Domain domain : text_domains[p]) {
+        bool first_use = !domain_seen[static_cast<int>(domain)];
+        domain_seen[static_cast<int>(domain)] = true;
+        // Primary columns mix head and tail draws (real enterprise columns
+        // hold mostly their own long-tail identifiers plus some globally
+        // common values); repeats and aux tables are tail-only.
+        bool head = !is_aux && first_use && rng.NextBool(0.35);
+        const TextGenerator& gen = head ? text : aux_text;
+        values.emplace_back(
+            DomainValue(domain, gen, rng, static_cast<int>(p)));
+      }
+      rel.AppendRow(values);
+    }
+  }
+
+  db.BuildIndexes();
+  return db;
+}
+
+}  // namespace qbe

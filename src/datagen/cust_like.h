@@ -1,0 +1,33 @@
+#ifndef QBE_DATAGEN_CUST_LIKE_H_
+#define QBE_DATAGEN_CUST_LIKE_H_
+
+#include <cstdint>
+
+#include "storage/database.h"
+
+namespace qbe {
+
+/// Configuration for the synthetic CUST-like database — the substitute for
+/// the paper's proprietary Fortune-500 customer-support / IT-support data
+/// collection (90 GB; see DESIGN.md substitutions). The generated *schema*
+/// always matches Table 2's CUST statistics exactly: 100 relations, 63
+/// foreign-key edges, 1263 columns of which 614 are text. Structurally it
+/// mirrors a real enterprise warehouse: 15 fact tables referencing 30
+/// shared dimensions (63 FK edges total) plus 55 standalone auxiliary
+/// tables that contribute schema noise — extra candidate projection columns
+/// — without joining anything.
+struct CustConfig {
+  double scale = 1.0;
+  uint64_t seed = 5001;
+};
+
+inline constexpr int kCustRelations = 100;
+inline constexpr int kCustEdges = 63;
+inline constexpr int kCustColumns = 1263;
+inline constexpr int kCustTextColumns = 614;
+
+Database MakeCustLikeDatabase(const CustConfig& config = {});
+
+}  // namespace qbe
+
+#endif  // QBE_DATAGEN_CUST_LIKE_H_

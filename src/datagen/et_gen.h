@@ -1,0 +1,82 @@
+#ifndef QBE_DATAGEN_ET_GEN_H_
+#define QBE_DATAGEN_ET_GEN_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/example_table.h"
+#include "exec/executor.h"
+#include "schema/schema_graph.h"
+#include "storage/database.h"
+#include "util/rng.h"
+
+namespace qbe {
+
+/// ET generation parameters (§6.1, Table 3). Defaults are the paper's
+/// underlined default values.
+struct EtParams {
+  int m = 3;       // rows
+  int n = 3;       // columns
+  double s = 0.3;  // sparsity: fraction of empty cells
+  int v = 2;       // tokens kept per non-empty cell
+};
+
+/// Example-table source following §6.1's procedure: choose `num_matrices`
+/// meaningful join graphs over the schema (each with more than
+/// `min_text_cols − 1` text columns), execute each join projected onto all
+/// its text columns to obtain a matrix, then sample ETs from the matrices:
+///
+///   1. pick m random complete rows and n random columns,
+///   2. blank ⌊m·n·s⌋ random cells,
+///   3. reject-and-retry if a row or column became fully empty, then keep
+///      the first v tokens of every remaining cell.
+///
+/// Sampling is deterministic given the seeds; SampleMany rotates over the
+/// matrices (the paper generates 5 ETs from each of its 10 matrices).
+class EtSource {
+ public:
+  struct Options {
+    int num_matrices = 10;
+    int min_text_cols = 7;    // "more than 6 text columns"
+    int max_tree_size = 4;
+    size_t matrix_row_cap = 4000;
+    size_t min_matrix_rows = 12;
+  };
+
+  EtSource(const Database& db, const SchemaGraph& graph, const Executor& exec,
+           uint64_t seed, const Options& options);
+
+  /// Default options.
+  EtSource(const Database& db, const SchemaGraph& graph, const Executor& exec,
+           uint64_t seed)
+      : EtSource(db, graph, exec, seed, Options()) {}
+
+  int num_matrices() const { return static_cast<int>(matrices_.size()); }
+
+  /// Number of usable (complete, distinct) rows in matrix `index`.
+  size_t matrix_rows(int index) const { return matrices_[index].rows.size(); }
+
+  /// One ET from matrix `index`; nullopt if the matrix cannot support the
+  /// parameters (too few rows/columns) or sparsification keeps failing.
+  std::optional<ExampleTable> Sample(const EtParams& params, int index,
+                                     Rng& rng) const;
+
+  /// `count` ETs rotating over the matrices. Always returns exactly `count`
+  /// tables (skips matrices that cannot support the parameters; check-fails
+  /// only if none can).
+  std::vector<ExampleTable> SampleMany(const EtParams& params, int count,
+                                       uint64_t seed) const;
+
+ private:
+  struct Matrix {
+    std::vector<std::vector<std::string>> rows;
+    int num_cols = 0;
+  };
+
+  std::vector<Matrix> matrices_;
+};
+
+}  // namespace qbe
+
+#endif  // QBE_DATAGEN_ET_GEN_H_

@@ -1,0 +1,427 @@
+#include "datagen/imdb_like.h"
+
+#include <algorithm>
+
+#include "datagen/names.h"
+#include "datagen/text_gen.h"
+#include "text/tokenizer.h"
+#include "util/rng.h"
+
+namespace qbe {
+namespace {
+
+constexpr ColumnType kI = ColumnType::kId;
+constexpr ColumnType kT = ColumnType::kText;
+
+int Scaled(double scale, int base) {
+  return std::max(4, static_cast<int>(base * scale));
+}
+
+/// Phonetic-code-like token derived from a name ("Mike Jones" -> "mike4"),
+/// mimicking IMDB's name_pcode columns: searchable, short, moderately
+/// selective.
+std::string Pcode(const std::string& text) {
+  std::vector<std::string> tokens = Tokenize(text);
+  if (tokens.empty()) return "x0";
+  std::string code = tokens[0].substr(0, 4);
+  code += std::to_string(tokens.size() > 1 ? tokens[1].size() % 10
+                                           : tokens[0].size() % 10);
+  return code;
+}
+
+}  // namespace
+
+Database MakeImdbLikeDatabase(const ImdbConfig& config) {
+  Rng rng(config.seed);
+  TextGenerator text;
+  Database db;
+
+  // ---- dimension-side relations -----------------------------------------
+  // person: 2 id + 3 text
+  Relation person("person", {{"person_id", kI},
+                             {"pname", kT},
+                             {"gender", kT},
+                             {"name_pcode", kT},
+                             {"birth_year", kI},
+                             {"imdb_id", kI}});
+  const int n_person = Scaled(config.scale, 3000);
+  std::vector<std::string> person_names;
+  person_names.reserve(n_person);
+  for (int i = 1; i <= n_person; ++i) {
+    std::string name = text.PersonName(rng);
+    person.AppendRow({int64_t{i}, name,
+                      std::string(rng.NextBool(0.5) ? "male" : "female"),
+                      Pcode(name), rng.NextInRange(1920, 2005),
+                      rng.NextInRange(1, 999999)});
+    person_names.push_back(std::move(name));
+  }
+  db.AddRelation(std::move(person));
+
+  // char_name: 2 id + 2 text — character names draw from the same person
+  // name pools, so 'Mike' is ambiguous between person.pname and
+  // char_name.cname exactly like Example 1's Customer/Employee ambiguity.
+  Relation char_name("char_name", {{"char_id", kI},
+                                   {"cname", kT},
+                                   {"cname_pcode", kT},
+                                   {"imdb_id", kI}});
+  const int n_char = Scaled(config.scale, 2000);
+  for (int i = 1; i <= n_char; ++i) {
+    // Characters are frequently named after real people: reuse person
+    // names outright so full "First Last" values recur across columns.
+    std::string name = rng.NextBool(0.9)
+                           ? person_names[rng.NextBounded(person_names.size())]
+                           : text.PersonName(rng);
+    char_name.AppendRow(
+        {int64_t{i}, name, Pcode(name), rng.NextInRange(1, 999999)});
+  }
+  db.AddRelation(std::move(char_name));
+
+  // company: 2 id + 3 text
+  Relation company("company", {{"company_id", kI},
+                               {"cmpname", kT},
+                               {"country", kT},
+                               {"cmpname_pcode", kT},
+                               {"imdb_id", kI}});
+  const int n_company = Scaled(config.scale, 800);
+  for (int i = 1; i <= n_company; ++i) {
+    std::string name = text.CompanyName(rng);
+    company.AppendRow({int64_t{i}, name, text.Place(rng), Pcode(name),
+                       rng.NextInRange(1, 999999)});
+  }
+  db.AddRelation(std::move(company));
+
+  // Small lookup dimensions: 1 id + 2 text each.
+  struct Lookup {
+    const char* rel;
+    const char* pk;
+    const char* col;
+    std::vector<std::string> values;
+  };
+  std::vector<Lookup> lookups;
+  lookups.push_back({"company_type", "ctype_id", "ckind",
+                     {"production companies", "distributors",
+                      "special effects companies", "miscellaneous companies"}});
+  lookups.push_back({"kind_type", "kind_id", "kind",
+                     {"movie", "tv series", "tv movie", "video movie",
+                      "tv mini series", "video game", "episode"}});
+  lookups.push_back({"role_type", "role_id", "role",
+                     {"actor", "actress", "producer", "writer",
+                      "cinematographer", "composer", "costume designer",
+                      "director", "editor", "miscellaneous crew",
+                      "production designer", "guest"}});
+  lookups.push_back(
+      {"link_type", "ltype_id", "link",
+       {"follows", "followed by", "remake of", "remade as", "references",
+        "referenced in", "spoofs", "spoofed in", "features", "featured in",
+        "spin off from", "spin off", "version of", "similar to",
+        "edited into", "edited from", "alternate language version of",
+        "unknown link"}});
+  {
+    Lookup info{"info_type", "itype_id", "info", {}};
+    const auto& nouns = Nouns();
+    for (int i = 0; i < 40; ++i) info.values.emplace_back(nouns[i]);
+    lookups.push_back(std::move(info));
+  }
+  for (Lookup& lookup : lookups) {
+    Relation rel(lookup.rel, {{lookup.pk, kI},
+                              {lookup.col, kT},
+                              {"description", kT}});
+    for (size_t i = 0; i < lookup.values.size(); ++i) {
+      rel.AppendRow({static_cast<int64_t>(i + 1), lookup.values[i],
+                     text.NotePhrase(rng, 2, 4)});
+    }
+    db.AddRelation(std::move(rel));
+  }
+  const int n_kind = 7;
+  const int n_ctype = 4;
+  const int n_role = 12;
+  const int n_ltype = 18;
+  const int n_itype = 40;
+
+  // keyword: 1 id + 2 text — keywords reuse noun/adjective pools so they
+  // collide with title and note tokens.
+  Relation keyword("keyword", {{"keyword_id", kI},
+                               {"kw", kT},
+                               {"kw_pcode", kT}});
+  const int n_keyword = Scaled(config.scale, 1500);
+  for (int i = 1; i <= n_keyword; ++i) {
+    std::string kw(text.Word(rng, Nouns()));
+    if (rng.NextBool(0.4)) {
+      kw = std::string(text.Word(rng, Adjectives())) + " " + kw;
+    }
+    keyword.AppendRow({int64_t{i}, kw, Pcode(kw)});
+  }
+  db.AddRelation(std::move(keyword));
+
+  // title: 6 id + 2 text
+  Relation title("title", {{"movie_id", kI},
+                           {"mtitle", kT},
+                           {"kind_id", kI},
+                           {"title_pcode", kT},
+                           {"production_year", kI},
+                           {"imdb_id", kI},
+                           {"episode_nr", kI},
+                           {"season_nr", kI}});
+  const int n_title = Scaled(config.scale, 4000);
+  std::vector<std::string> titles;
+  titles.reserve(n_title);
+  for (int i = 1; i <= n_title; ++i) {
+    std::string name = text.TitlePhrase(rng, 4);
+    title.AppendRow({int64_t{i}, name, rng.NextInRange(1, n_kind),
+                     Pcode(name), rng.NextInRange(1920, 2014),
+                     rng.NextInRange(1, 999999), rng.NextInRange(0, 24),
+                     rng.NextInRange(0, 9)});
+    titles.push_back(std::move(name));
+  }
+  db.AddRelation(std::move(title));
+
+  // ---- fact-side relations ----------------------------------------------
+  // aka_name: 2 id + 2 text; alternative person names usually echo the
+  // referenced person's real name — heavy cross-column value overlap.
+  Relation aka_name("aka_name", {{"akaname_id", kI},
+                                 {"person_id", kI},
+                                 {"aname", kT},
+                                 {"aname_pcode", kT}});
+  const int n_aka_name = Scaled(config.scale, 1500);
+  for (int i = 1; i <= n_aka_name; ++i) {
+    int64_t pid = rng.NextInRange(1, n_person);
+    std::string name = rng.NextBool(0.9) ? person_names[pid - 1]
+                                          : text.PersonName(rng);
+    aka_name.AppendRow({int64_t{i}, pid, name, Pcode(name)});
+  }
+  db.AddRelation(std::move(aka_name));
+
+  // aka_title: 3 id + 2 text
+  Relation aka_title("aka_title", {{"akatitle_id", kI},
+                                   {"movie_id", kI},
+                                   {"atitle", kT},
+                                   {"atitle_pcode", kT},
+                                   {"production_year", kI}});
+  const int n_aka_title = Scaled(config.scale, 1200);
+  for (int i = 1; i <= n_aka_title; ++i) {
+    int64_t mid = rng.NextInRange(1, n_title);
+    std::string name =
+        rng.NextBool(0.9) ? titles[mid - 1] : text.TitlePhrase(rng, 4);
+    aka_title.AppendRow(
+        {int64_t{i}, mid, name, Pcode(name), rng.NextInRange(1920, 2014)});
+  }
+  db.AddRelation(std::move(aka_title));
+
+  // cast_info: 6 id + 1 text
+  Relation cast_info("cast_info", {{"cast_id", kI},
+                                   {"person_id", kI},
+                                   {"movie_id", kI},
+                                   {"char_id", kI},
+                                   {"role_id", kI},
+                                   {"note", kT},
+                                   {"nr_order", kI}});
+  const int n_cast = Scaled(config.scale, 12000);
+  for (int i = 1; i <= n_cast; ++i) {
+    // Real cast notes often read "(as Some Name)": reuse person names so
+    // note columns join the name-ambiguity pool.
+    std::string note =
+        rng.NextBool(0.4)
+            ? "as " + person_names[rng.NextBounded(person_names.size())]
+            : text.NotePhrase(rng, 1, 3);
+    cast_info.AppendRow({int64_t{i}, rng.NextInRange(1, n_person),
+                         rng.NextInRange(1, n_title),
+                         rng.NextInRange(1, n_char),
+                         rng.NextInRange(1, n_role), std::move(note),
+                         rng.NextInRange(1, 50)});
+  }
+  db.AddRelation(std::move(cast_info));
+
+  // complete_cast: 2 id + 3 text
+  Relation complete_cast("complete_cast", {{"ccast_id", kI},
+                                           {"movie_id", kI},
+                                           {"subject", kT},
+                                           {"status", kT},
+                                           {"note", kT}});
+  const int n_ccast = Scaled(config.scale, 2000);
+  for (int i = 1; i <= n_ccast; ++i) {
+    complete_cast.AppendRow(
+        {int64_t{i}, rng.NextInRange(1, n_title),
+         std::string(rng.NextBool(0.5) ? "cast" : "crew"),
+         std::string(rng.NextBool(0.7) ? "complete" : "partial"),
+         text.NotePhrase(rng, 1, 3)});
+  }
+  db.AddRelation(std::move(complete_cast));
+
+  // movie_companies: 4 id + 1 text
+  Relation movie_companies("movie_companies", {{"mc_id", kI},
+                                               {"movie_id", kI},
+                                               {"company_id", kI},
+                                               {"ctype_id", kI},
+                                               {"note", kT},
+                                               {"start_year", kI}});
+  const int n_mc = Scaled(config.scale, 5000);
+  for (int i = 1; i <= n_mc; ++i) {
+    movie_companies.AppendRow({int64_t{i}, rng.NextInRange(1, n_title),
+                               rng.NextInRange(1, n_company),
+                               rng.NextInRange(1, n_ctype),
+                               text.Place(rng), rng.NextInRange(1920, 2014)});
+  }
+  db.AddRelation(std::move(movie_companies));
+
+  // movie_info: 4 id + 2 text
+  Relation movie_info("movie_info", {{"mi_id", kI},
+                                     {"movie_id", kI},
+                                     {"itype_id", kI},
+                                     {"info_text", kT},
+                                     {"note", kT},
+                                     {"info_seq", kI}});
+  const int n_mi = Scaled(config.scale, 8000);
+  for (int i = 1; i <= n_mi; ++i) {
+    // movie_info rows mirror real IMDB info strings: genres, shooting
+    // locations, taglines (note vocabulary) and references to other titles
+    // — the last case injects title phrases so ET title values stay
+    // ambiguous between mtitle, atitle and info_text.
+    std::string info;
+    switch (rng.NextBounded(4)) {
+      case 0:
+        info = text.Genre(rng);
+        break;
+      case 1:
+        info = text.Place(rng);
+        break;
+      case 2:
+        info = titles[rng.NextBounded(titles.size())];
+        break;
+      default:
+        info = text.NotePhrase(rng, 2, 5);
+        break;
+    }
+    movie_info.AppendRow({int64_t{i}, rng.NextInRange(1, n_title),
+                          rng.NextInRange(1, n_itype), std::move(info),
+                          text.NotePhrase(rng, 1, 2),
+                          rng.NextInRange(1, 20)});
+  }
+  db.AddRelation(std::move(movie_info));
+
+  // movie_keyword: 3 id + 1 text
+  Relation movie_keyword("movie_keyword", {{"mk_id", kI},
+                                           {"movie_id", kI},
+                                           {"keyword_id", kI},
+                                           {"note", kT}});
+  const int n_mk = Scaled(config.scale, 6000);
+  for (int i = 1; i <= n_mk; ++i) {
+    movie_keyword.AppendRow({int64_t{i}, rng.NextInRange(1, n_title),
+                             rng.NextInRange(1, n_keyword),
+                             text.NotePhrase(rng, 1, 2)});
+  }
+  db.AddRelation(std::move(movie_keyword));
+
+  // movie_link: 4 id + 1 text
+  Relation movie_link("movie_link", {{"ml_id", kI},
+                                     {"movie_id", kI},
+                                     {"linked_movie_id", kI},
+                                     {"ltype_id", kI},
+                                     {"note", kT},
+                                     {"link_order", kI}});
+  const int n_ml = Scaled(config.scale, 1500);
+  for (int i = 1; i <= n_ml; ++i) {
+    movie_link.AppendRow({int64_t{i}, rng.NextInRange(1, n_title),
+                          rng.NextInRange(1, n_title),
+                          rng.NextInRange(1, n_ltype),
+                          text.NotePhrase(rng, 1, 2),
+                          rng.NextInRange(1, 20)});
+  }
+  db.AddRelation(std::move(movie_link));
+
+  // person_info: 4 id + 2 text
+  Relation person_info("person_info", {{"pi_id", kI},
+                                       {"person_id", kI},
+                                       {"itype_id", kI},
+                                       {"pinfo", kT},
+                                       {"note", kT},
+                                       {"info_seq", kI}});
+  const int n_pi = Scaled(config.scale, 5000);
+  for (int i = 1; i <= n_pi; ++i) {
+    // Biography-style info: birth places, trivia, and mentions of other
+    // people by name (spouses, frequent collaborators).
+    std::string pinfo;
+    switch (rng.NextBounded(3)) {
+      case 0:
+        pinfo = text.Place(rng);
+        break;
+      case 1:
+        pinfo = person_names[rng.NextBounded(person_names.size())];
+        break;
+      default:
+        pinfo = text.NotePhrase(rng, 2, 5);
+        break;
+    }
+    person_info.AppendRow({int64_t{i}, rng.NextInRange(1, n_person),
+                           rng.NextInRange(1, n_itype), std::move(pinfo),
+                           text.NotePhrase(rng, 1, 2),
+                           rng.NextInRange(1, 20)});
+  }
+  db.AddRelation(std::move(person_info));
+
+  // movie_rating: 4 id + 2 text
+  Relation movie_rating("movie_rating", {{"rating_id", kI},
+                                         {"movie_id", kI},
+                                         {"rating_text", kT},
+                                         {"votes_text", kT},
+                                         {"votes", kI},
+                                         {"rank", kI}});
+  const int n_rating = Scaled(config.scale, 3000);
+  for (int i = 1; i <= n_rating; ++i) {
+    int64_t votes = rng.NextInRange(10, 200000);
+    std::string rating = std::to_string(rng.NextInRange(1, 9)) + "." +
+                         std::to_string(rng.NextInRange(0, 9));
+    movie_rating.AppendRow({int64_t{i}, rng.NextInRange(1, n_title),
+                            std::move(rating),
+                            std::to_string(votes) + " votes", votes,
+                            rng.NextInRange(1, 100000)});
+  }
+  db.AddRelation(std::move(movie_rating));
+
+  // award: 2 id + 3 text
+  Relation award("award", {{"award_id", kI},
+                           {"person_id", kI},
+                           {"award_name", kT},
+                           {"category", kT},
+                           {"note", kT}});
+  const int n_award = Scaled(config.scale, 1200);
+  for (int i = 1; i <= n_award; ++i) {
+    std::string name(text.Word(rng, CompanyWords()));
+    name += " award";
+    award.AppendRow({int64_t{i}, rng.NextInRange(1, n_person),
+                     std::move(name), text.Genre(rng),
+                     text.NotePhrase(rng, 1, 3)});
+  }
+  db.AddRelation(std::move(award));
+
+  // ---- foreign keys (Table 2: 22 edges) ----------------------------------
+  db.AddForeignKey("title", "kind_id", "kind_type", "kind_id");            // 1
+  db.AddForeignKey("aka_name", "person_id", "person", "person_id");        // 2
+  db.AddForeignKey("aka_title", "movie_id", "title", "movie_id");          // 3
+  db.AddForeignKey("cast_info", "person_id", "person", "person_id");       // 4
+  db.AddForeignKey("cast_info", "movie_id", "title", "movie_id");          // 5
+  db.AddForeignKey("cast_info", "char_id", "char_name", "char_id");        // 6
+  db.AddForeignKey("cast_info", "role_id", "role_type", "role_id");        // 7
+  db.AddForeignKey("complete_cast", "movie_id", "title", "movie_id");      // 8
+  db.AddForeignKey("movie_companies", "movie_id", "title", "movie_id");    // 9
+  db.AddForeignKey("movie_companies", "company_id", "company",
+                   "company_id");                                          // 10
+  db.AddForeignKey("movie_companies", "ctype_id", "company_type",
+                   "ctype_id");                                            // 11
+  db.AddForeignKey("movie_info", "movie_id", "title", "movie_id");         // 12
+  db.AddForeignKey("movie_info", "itype_id", "info_type", "itype_id");     // 13
+  db.AddForeignKey("movie_keyword", "movie_id", "title", "movie_id");      // 14
+  db.AddForeignKey("movie_keyword", "keyword_id", "keyword",
+                   "keyword_id");                                          // 15
+  db.AddForeignKey("movie_link", "movie_id", "title", "movie_id");         // 16
+  db.AddForeignKey("movie_link", "linked_movie_id", "title", "movie_id");  // 17
+  db.AddForeignKey("movie_link", "ltype_id", "link_type", "ltype_id");     // 18
+  db.AddForeignKey("person_info", "person_id", "person", "person_id");     // 19
+  db.AddForeignKey("person_info", "itype_id", "info_type", "itype_id");    // 20
+  db.AddForeignKey("movie_rating", "movie_id", "title", "movie_id");       // 21
+  db.AddForeignKey("award", "person_id", "person", "person_id");           // 22
+
+  db.BuildIndexes();
+  return db;
+}
+
+}  // namespace qbe

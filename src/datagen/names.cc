@@ -1,0 +1,138 @@
+#include "datagen/names.h"
+
+// Pools are function-local `*new` statics: no global constructors to order,
+// trivially "destroyed" (never), per the style rules on static storage.
+
+namespace qbe {
+
+const std::vector<std::string_view>& FirstNames() {
+  static const auto& pool = *new std::vector<std::string_view>{
+      "Mike",    "Mary",    "Bob",      "Alice",    "John",    "Linda",
+      "James",   "Susan",   "Robert",   "Karen",    "David",   "Nancy",
+      "William", "Lisa",    "Richard",  "Betty",    "Thomas",  "Helen",
+      "Charles", "Sandra",  "Daniel",   "Donna",    "Matthew", "Carol",
+      "Anthony", "Ruth",    "Mark",     "Sharon",   "Paul",    "Michelle",
+      "Steven",  "Laura",   "Andrew",   "Sarah",    "Kenneth", "Kimberly",
+      "George",  "Deborah", "Joshua",   "Jessica",  "Kevin",   "Shirley",
+      "Brian",   "Cynthia", "Edward",   "Angela",   "Ronald",  "Melissa",
+      "Timothy", "Brenda",  "Jason",    "Amy",      "Jeffrey", "Anna",
+      "Ryan",    "Rebecca", "Jacob",    "Virginia", "Gary",    "Kathleen",
+      "Nicholas","Pamela",  "Eric",     "Martha",   "Jonathan","Debra",
+      "Stephen", "Amanda",  "Larry",    "Stephanie","Justin",  "Carolyn",
+      "Scott",   "Christine","Brandon", "Marie",    "Benjamin","Janet",
+      "Samuel",  "Catherine","Gregory", "Frances",  "Frank",   "Ann",
+      "Alexander","Joyce",  "Raymond",  "Diane",    "Patrick", "Gloria",
+      "Jack",    "Julie",   "Dennis",   "Heather",  "Jerry",   "Teresa",
+  };
+  return pool;
+}
+
+const std::vector<std::string_view>& LastNames() {
+  static const auto& pool = *new std::vector<std::string_view>{
+      "Jones",    "Smith",    "Evans",    "Stone",     "Lee",      "Nash",
+      "Brown",    "Johnson",  "Williams", "Miller",    "Davis",    "Garcia",
+      "Rodriguez","Wilson",   "Martinez", "Anderson",  "Taylor",   "Thomas",
+      "Hernandez","Moore",    "Martin",   "Jackson",   "Thompson", "White",
+      "Lopez",    "Gonzalez", "Harris",   "Clark",     "Lewis",    "Robinson",
+      "Walker",   "Perez",    "Hall",     "Young",     "Allen",    "Sanchez",
+      "Wright",   "King",     "Scott",    "Green",     "Baker",    "Adams",
+      "Nelson",   "Hill",     "Ramirez",  "Campbell",  "Mitchell", "Roberts",
+      "Carter",   "Phillips", "Turner",   "Torres",    "Parker",   "Collins",
+      "Edwards",  "Stewart",  "Flores",   "Morris",    "Nguyen",   "Murphy",
+      "Rivera",   "Cook",     "Rogers",   "Morgan",    "Peterson", "Cooper",
+      "Reed",     "Bailey",   "Bell",     "Gomez",     "Kelly",    "Howard",
+      "Ward",     "Cox",      "Diaz",     "Richardson","Wood",     "Watson",
+      "Brooks",   "Bennett",  "Gray",     "James",     "Reyes",    "Cruz",
+  };
+  return pool;
+}
+
+const std::vector<std::string_view>& Nouns() {
+  static const auto& pool = *new std::vector<std::string_view>{
+      "river",    "mountain", "shadow",  "garden",    "window",   "harbor",
+      "engine",   "bridge",   "forest",  "island",    "station",  "market",
+      "castle",   "journey",  "mirror",  "anchor",    "beacon",   "canyon",
+      "ember",    "falcon",   "glacier", "horizon",   "lantern",  "meadow",
+      "nebula",   "orchard",  "prairie", "quarry",    "reef",     "summit",
+      "thunder",  "valley",   "willow",  "zephyr",    "archive",  "ballad",
+      "compass",  "dynasty",  "eclipse", "fable",     "galaxy",   "harvest",
+      "insight",  "jubilee",  "kingdom", "legacy",    "monsoon",  "novella",
+      "odyssey",  "paradox",  "quest",   "riddle",    "saga",     "tempest",
+      "utopia",   "voyage",   "whisper", "expanse",   "yonder",   "zenith",
+      "harbinger","citadel",  "drift",   "origin",    "relay",    "signal",
+      "tunnel",   "vault",    "warden",  "expedition","frontier", "garrison",
+  };
+  return pool;
+}
+
+const std::vector<std::string_view>& Adjectives() {
+  static const auto& pool = *new std::vector<std::string_view>{
+      "silent",   "golden",   "crimson",  "hidden",   "ancient", "broken",
+      "distant",  "eternal",  "frozen",   "gentle",   "hollow",  "iron",
+      "jagged",   "kindred",  "lunar",    "midnight", "northern","obsidian",
+      "pale",     "quiet",    "restless", "savage",   "twilight","umber",
+      "vivid",    "wandering","young",    "zealous",  "amber",   "bitter",
+      "crystal",  "dusty",    "emerald",  "fleeting", "grand",   "humble",
+      "infinite", "jade",     "keen",     "lost",     "mystic",  "noble",
+      "outer",    "proud",    "quaint",   "rising",   "scarlet", "timeless",
+      "unseen",   "velvet",   "wild",     "azure",    "burning", "cobalt",
+  };
+  return pool;
+}
+
+const std::vector<std::string_view>& Verbs() {
+  static const auto& pool = *new std::vector<std::string_view>{
+      "crash",   "sync",     "install",  "update",   "restart", "connect",
+      "freeze",  "render",   "upload",   "download", "restore", "configure",
+      "launch",  "migrate",  "deploy",   "backup",   "encrypt", "compile",
+      "resolve", "escalate", "timeout",  "overheat", "reboot",  "authenticate",
+  };
+  return pool;
+}
+
+const std::vector<std::string_view>& Places() {
+  static const auto& pool = *new std::vector<std::string_view>{
+      "London",   "Paris",    "Berlin",  "Tokyo",     "Sydney",  "Toronto",
+      "Chicago",  "Seattle",  "Austin",  "Denver",    "Boston",  "Atlanta",
+      "Madrid",   "Rome",     "Vienna",  "Oslo",      "Dublin",  "Prague",
+      "Lisbon",   "Helsinki", "Zurich",  "Geneva",    "Mumbai",  "Singapore",
+      "Portland", "Phoenix",  "Dallas",  "Houston",   "Nairobi", "Cairo",
+  };
+  return pool;
+}
+
+const std::vector<std::string_view>& CompanyWords() {
+  static const auto& pool = *new std::vector<std::string_view>{
+      "Global",  "United",   "Pacific",  "Northern",  "Summit",  "Pioneer",
+      "Vertex",  "Quantum",  "Sterling", "Atlas",     "Orion",   "Nova",
+      "Apex",    "Crescent", "Dynamo",   "Equinox",   "Fusion",  "Gateway",
+      "Horizon", "Keystone", "Liberty",  "Meridian",  "Nimbus",  "Octave",
+      "Paragon", "Radiant",  "Sapphire", "Titan",     "Vanguard","Zenith",
+      "Systems", "Media",    "Pictures", "Studios",   "Holdings","Partners",
+      "Labs",    "Works",    "Group",    "Industries","Networks","Dynamics",
+  };
+  return pool;
+}
+
+const std::vector<std::string_view>& GenreWords() {
+  static const auto& pool = *new std::vector<std::string_view>{
+      "drama",   "comedy",  "thriller",    "romance",   "horror", "western",
+      "mystery", "fantasy", "adventure",   "animation", "crime",  "biography",
+      "musical", "war",     "documentary", "noir",      "family", "history",
+      "sport",   "scifi",
+  };
+  return pool;
+}
+
+const std::vector<std::string_view>& TechWords() {
+  static const auto& pool = *new std::vector<std::string_view>{
+      "laptop",   "tablet",   "phone",    "monitor",  "keyboard", "printer",
+      "router",   "server",   "docking",  "adapter",  "battery",  "charger",
+      "headset",  "webcam",   "scanner",  "firewall", "antivirus","spreadsheet",
+      "editor",   "browser",  "mailbox",  "calendar", "notebook", "dashboard",
+      "terminal", "compiler", "database", "storage",  "backup",   "archive",
+  };
+  return pool;
+}
+
+}  // namespace qbe

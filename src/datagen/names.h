@@ -1,0 +1,26 @@
+#ifndef QBE_DATAGEN_NAMES_H_
+#define QBE_DATAGEN_NAMES_H_
+
+#include <string_view>
+#include <vector>
+
+namespace qbe {
+
+/// Shared word pools for the synthetic datasets. Several pools are reused
+/// across unrelated columns on purpose: the paper's candidate ambiguity —
+/// 'Mike' matching both Customer.CustName and Employee.EmpName in Example 1
+/// — only arises when the same tokens appear in multiple text columns, and
+/// that ambiguity is what makes candidate verification expensive.
+const std::vector<std::string_view>& FirstNames();
+const std::vector<std::string_view>& LastNames();
+const std::vector<std::string_view>& Nouns();
+const std::vector<std::string_view>& Adjectives();
+const std::vector<std::string_view>& Verbs();
+const std::vector<std::string_view>& Places();
+const std::vector<std::string_view>& CompanyWords();
+const std::vector<std::string_view>& GenreWords();
+const std::vector<std::string_view>& TechWords();
+
+}  // namespace qbe
+
+#endif  // QBE_DATAGEN_NAMES_H_

@@ -1,0 +1,165 @@
+#include "datagen/retailer.h"
+
+#include "datagen/names.h"
+#include "datagen/text_gen.h"
+#include "util/rng.h"
+
+namespace qbe {
+namespace {
+
+Relation MakeDimension(const std::string& name, const std::string& pk,
+                       const std::string& text_col) {
+  return Relation(name, {{pk, ColumnType::kId}, {text_col, ColumnType::kText}});
+}
+
+void AddRetailerSchema(Database& db, Relation customer, Relation device,
+                       Relation app, Relation employee, Relation sales,
+                       Relation owner, Relation esr) {
+  db.AddRelation(std::move(customer));
+  db.AddRelation(std::move(device));
+  db.AddRelation(std::move(app));
+  db.AddRelation(std::move(employee));
+  db.AddRelation(std::move(sales));
+  db.AddRelation(std::move(owner));
+  db.AddRelation(std::move(esr));
+  db.AddForeignKey("Sales", "CustId", "Customer", "CustId");
+  db.AddForeignKey("Sales", "DevId", "Device", "DevId");
+  db.AddForeignKey("Sales", "AppId", "App", "AppId");
+  db.AddForeignKey("Owner", "EmpId", "Employee", "EmpId");
+  db.AddForeignKey("Owner", "DevId", "Device", "DevId");
+  db.AddForeignKey("Owner", "AppId", "App", "AppId");
+  db.AddForeignKey("ESR", "EmpId", "Employee", "EmpId");
+  db.AddForeignKey("ESR", "AppId", "App", "AppId");
+}
+
+Relation MakeSalesRelation() {
+  return Relation("Sales", {{"SId", ColumnType::kId},
+                            {"CustId", ColumnType::kId},
+                            {"DevId", ColumnType::kId},
+                            {"AppId", ColumnType::kId}});
+}
+
+Relation MakeOwnerRelation() {
+  return Relation("Owner", {{"OId", ColumnType::kId},
+                            {"EmpId", ColumnType::kId},
+                            {"DevId", ColumnType::kId},
+                            {"AppId", ColumnType::kId}});
+}
+
+Relation MakeEsrRelation() {
+  return Relation("ESR", {{"ESRId", ColumnType::kId},
+                          {"EmpId", ColumnType::kId},
+                          {"AppId", ColumnType::kId},
+                          {"Desc", ColumnType::kText}});
+}
+
+}  // namespace
+
+Database MakeRetailerDatabase() {
+  Relation customer = MakeDimension("Customer", "CustId", "CustName");
+  customer.AppendRow({int64_t{1}, std::string("Mike Jones")});
+  customer.AppendRow({int64_t{2}, std::string("Mary Smith")});
+  customer.AppendRow({int64_t{3}, std::string("Bob Evans")});
+
+  Relation device = MakeDimension("Device", "DevId", "DevName");
+  device.AppendRow({int64_t{1}, std::string("ThinkPad X1")});
+  device.AppendRow({int64_t{2}, std::string("iPad Air")});
+  device.AppendRow({int64_t{3}, std::string("Nexus 7")});
+
+  Relation app = MakeDimension("App", "AppId", "AppName");
+  app.AppendRow({int64_t{1}, std::string("Office 2013")});
+  app.AppendRow({int64_t{2}, std::string("Evernote")});
+  app.AppendRow({int64_t{3}, std::string("Dropbox")});
+
+  Relation employee = MakeDimension("Employee", "EmpId", "EmpName");
+  employee.AppendRow({int64_t{1}, std::string("Mike Stone")});
+  employee.AppendRow({int64_t{2}, std::string("Mary Lee")});
+  employee.AppendRow({int64_t{3}, std::string("Bob Nash")});
+
+  Relation sales = MakeSalesRelation();
+  sales.AppendRow({int64_t{1}, int64_t{1}, int64_t{1}, int64_t{1}});
+  sales.AppendRow({int64_t{2}, int64_t{2}, int64_t{2}, int64_t{2}});
+  sales.AppendRow({int64_t{3}, int64_t{3}, int64_t{3}, int64_t{3}});
+
+  Relation owner = MakeOwnerRelation();
+  owner.AppendRow({int64_t{1}, int64_t{1}, int64_t{1}, int64_t{1}});
+  owner.AppendRow({int64_t{2}, int64_t{2}, int64_t{3}, int64_t{3}});
+  owner.AppendRow({int64_t{3}, int64_t{3}, int64_t{2}, int64_t{2}});
+
+  Relation esr = MakeEsrRelation();
+  esr.AppendRow(
+      {int64_t{1}, int64_t{1}, int64_t{1}, std::string("Office crash")});
+  esr.AppendRow(
+      {int64_t{2}, int64_t{2}, int64_t{3}, std::string("Dropbox can't sync")});
+
+  Database db;
+  AddRetailerSchema(db, std::move(customer), std::move(device), std::move(app),
+                    std::move(employee), std::move(sales), std::move(owner),
+                    std::move(esr));
+  db.BuildIndexes();
+  return db;
+}
+
+ExampleTable MakeFigure2ExampleTable() {
+  ExampleTable et({"A", "B", "C"});
+  et.AddRow({"Mike", "ThinkPad", "Office"});
+  et.AddRow({"Mary", "iPad", ""});
+  et.AddRow({"Bob", "", "Dropbox"});
+  return et;
+}
+
+Database MakeScaledRetailerDatabase(int customers, int employees, int devices,
+                                    int apps, int sales, int owners, int esrs,
+                                    uint64_t seed) {
+  Rng rng(seed);
+  TextGenerator text;
+
+  Relation customer = MakeDimension("Customer", "CustId", "CustName");
+  for (int i = 1; i <= customers; ++i) {
+    customer.AppendRow({int64_t{i}, text.PersonName(rng)});
+  }
+  Relation device = MakeDimension("Device", "DevId", "DevName");
+  for (int i = 1; i <= devices; ++i) {
+    device.AppendRow({int64_t{i}, text.ProductName(rng)});
+  }
+  Relation app = MakeDimension("App", "AppId", "AppName");
+  for (int i = 1; i <= apps; ++i) {
+    std::string name(text.Word(rng, TechWords()));
+    name += ' ';
+    name += std::to_string(rng.NextInRange(1, 30));
+    app.AppendRow({int64_t{i}, std::move(name)});
+  }
+  Relation employee = MakeDimension("Employee", "EmpId", "EmpName");
+  for (int i = 1; i <= employees; ++i) {
+    employee.AppendRow({int64_t{i}, text.PersonName(rng)});
+  }
+  Relation sales_rel = MakeSalesRelation();
+  for (int i = 1; i <= sales; ++i) {
+    sales_rel.AppendRow({int64_t{i}, rng.NextInRange(1, customers),
+                         rng.NextInRange(1, devices),
+                         rng.NextInRange(1, apps)});
+  }
+  Relation owner_rel = MakeOwnerRelation();
+  for (int i = 1; i <= owners; ++i) {
+    owner_rel.AppendRow({int64_t{i}, rng.NextInRange(1, employees),
+                         rng.NextInRange(1, devices),
+                         rng.NextInRange(1, apps)});
+  }
+  Relation esr = MakeEsrRelation();
+  for (int i = 1; i <= esrs; ++i) {
+    std::string desc(text.Word(rng, TechWords()));
+    desc += ' ';
+    desc += text.Word(rng, Verbs());
+    esr.AppendRow({int64_t{i}, rng.NextInRange(1, employees),
+                   rng.NextInRange(1, apps), std::move(desc)});
+  }
+
+  Database db;
+  AddRetailerSchema(db, std::move(customer), std::move(device), std::move(app),
+                    std::move(employee), std::move(sales_rel),
+                    std::move(owner_rel), std::move(esr));
+  db.BuildIndexes();
+  return db;
+}
+
+}  // namespace qbe

@@ -1,0 +1,31 @@
+#ifndef QBE_DATAGEN_RETAILER_H_
+#define QBE_DATAGEN_RETAILER_H_
+
+#include "core/example_table.h"
+#include "storage/database.h"
+
+namespace qbe {
+
+/// The computer-retailer database of Figure 1, verbatim: dimension tables
+/// Customer, Device, App, Employee and fact tables Sales, Owner, ESR with
+/// the figure's exact seven relations, foreign keys and tuples. Indexes are
+/// built. The paper's worked examples (Figures 2, 4, 6, 7, 8; Examples 1–8)
+/// all run against this database, and so do our unit tests.
+Database MakeRetailerDatabase();
+
+/// The example table of Figure 2:
+///   A            B          C
+///   Mike         ThinkPad   Office
+///   Mary         iPad
+///   Bob                     Dropbox
+ExampleTable MakeFigure2ExampleTable();
+
+/// A larger, randomized retailer instance with the same schema, for tests
+/// and examples that need more data variety than the 2–3 rows of Figure 1.
+Database MakeScaledRetailerDatabase(int customers, int employees, int devices,
+                                    int apps, int sales, int owners, int esrs,
+                                    uint64_t seed);
+
+}  // namespace qbe
+
+#endif  // QBE_DATAGEN_RETAILER_H_

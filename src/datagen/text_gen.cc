@@ -1,0 +1,103 @@
+#include "datagen/text_gen.h"
+
+#include "datagen/names.h"
+
+namespace qbe {
+
+TextGenerator::TextGenerator(double zipf_theta)
+    : theta_(zipf_theta),
+      first_(FirstNames().size(), zipf_theta),
+      last_(LastNames().size(), zipf_theta),
+      noun_(Nouns().size(), zipf_theta),
+      adjective_(Adjectives().size(), zipf_theta),
+      verb_(Verbs().size(), zipf_theta),
+      place_(Places().size(), zipf_theta),
+      company_(CompanyWords().size(), zipf_theta),
+      genre_(GenreWords().size(), zipf_theta),
+      tech_(TechWords().size(), zipf_theta) {}
+
+std::string TextGenerator::PersonName(Rng& rng) const {
+  std::string name(FirstNames()[first_.Sample(rng)]);
+  name += ' ';
+  name += LastNames()[last_.Sample(rng)];
+  return name;
+}
+
+std::string TextGenerator::TitlePhrase(Rng& rng, int max_words) const {
+  // Half the titles carry the leading article; the bare "adjective noun"
+  // form overlaps with keyword and note vocabulary at the phrase level.
+  std::string title = rng.NextBool(0.5) ? "the " : "";
+  title += Adjectives()[adjective_.Sample(rng)];
+  title += ' ';
+  title += Nouns()[noun_.Sample(rng)];
+  if (max_words > 3 && rng.NextBool(0.4)) {
+    title += ' ';
+    title += Nouns()[noun_.Sample(rng)];
+  }
+  return title;
+}
+
+std::string TextGenerator::NotePhrase(Rng& rng, int min_words,
+                                      int max_words) const {
+  int n = static_cast<int>(rng.NextInRange(min_words, max_words));
+  std::string note;
+  int words = 0;
+  while (words < n) {
+    if (words > 0) note += ' ';
+    if (words + 2 <= n && rng.NextBool(0.25)) {
+      // Adjective-noun bigram — the same shape title phrases use, so notes
+      // and titles overlap at the phrase level like real prose (taglines
+      // quoting titles, plot words, etc.).
+      note += Adjectives()[adjective_.Sample(rng)];
+      note += ' ';
+      note += Nouns()[noun_.Sample(rng)];
+      words += 2;
+      continue;
+    }
+    switch (rng.NextBounded(3)) {
+      case 0:
+        note += Nouns()[noun_.Sample(rng)];
+        break;
+      case 1:
+        note += Adjectives()[adjective_.Sample(rng)];
+        break;
+      default:
+        note += Verbs()[verb_.Sample(rng)];
+        break;
+    }
+    words += 1;
+  }
+  return note;
+}
+
+std::string TextGenerator::CompanyName(Rng& rng) const {
+  std::string name(CompanyWords()[company_.Sample(rng)]);
+  name += ' ';
+  name += CompanyWords()[company_.Sample(rng)];
+  return name;
+}
+
+std::string TextGenerator::ProductName(Rng& rng) const {
+  std::string name(CompanyWords()[company_.Sample(rng)]);
+  name += ' ';
+  name += TechWords()[tech_.Sample(rng)];
+  name += ' ';
+  name += std::to_string(rng.NextInRange(1, 99));
+  return name;
+}
+
+std::string TextGenerator::Place(Rng& rng) const {
+  return std::string(Places()[place_.Sample(rng)]);
+}
+
+std::string TextGenerator::Genre(Rng& rng) const {
+  return std::string(GenreWords()[genre_.Sample(rng)]);
+}
+
+std::string_view TextGenerator::Word(
+    Rng& rng, const std::vector<std::string_view>& pool) const {
+  ZipfSampler sampler(pool.size(), theta_);
+  return pool[sampler.Sample(rng)];
+}
+
+}  // namespace qbe

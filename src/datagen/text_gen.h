@@ -1,0 +1,54 @@
+#ifndef QBE_DATAGEN_TEXT_GEN_H_
+#define QBE_DATAGEN_TEXT_GEN_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace qbe {
+
+/// Synthetic text generator shared by the dataset builders. Draws are
+/// Zipfian over the word pools so token selectivities resemble natural
+/// language (a few common words, a long tail), which matters for the
+/// experiments: candidate-column ambiguity and CQ-row verification cost
+/// both depend on how often tokens repeat within and across columns.
+class TextGenerator {
+ public:
+  explicit TextGenerator(double zipf_theta = 1.2);
+
+  /// "First Last" person names; the pool is shared across every dataset's
+  /// person-like columns so the same name shows up in many columns.
+  std::string PersonName(Rng& rng) const;
+
+  /// Title-style phrase: "the <adjective> <noun> [<noun>]".
+  std::string TitlePhrase(Rng& rng, int max_words = 3) const;
+
+  /// Free-text note of `min_words`..`max_words` tokens from the noun /
+  /// adjective / verb pools.
+  std::string NotePhrase(Rng& rng, int min_words, int max_words) const;
+
+  /// Company-style name, e.g. "Quantum Pictures".
+  std::string CompanyName(Rng& rng) const;
+
+  /// Product/device-style name, e.g. "Vertex laptop 42".
+  std::string ProductName(Rng& rng) const;
+
+  std::string Place(Rng& rng) const;
+  std::string Genre(Rng& rng) const;
+
+  /// One Zipf-drawn word from an arbitrary pool.
+  std::string_view Word(Rng& rng, const std::vector<std::string_view>& pool)
+      const;
+
+ private:
+  double theta_;
+  ZipfSampler first_, last_, noun_, adjective_, verb_, place_, company_,
+      genre_, tech_;
+};
+
+}  // namespace qbe
+
+#endif  // QBE_DATAGEN_TEXT_GEN_H_

@@ -1,0 +1,318 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "text/tokenizer.h"
+#include "util/check.h"
+
+namespace qbe {
+namespace {
+
+/// Sorted-vector intersection in place.
+void IntersectSorted(std::vector<uint32_t>* a, const std::vector<uint32_t>& b) {
+  std::vector<uint32_t> out;
+  std::set_intersection(a->begin(), a->end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  *a = std::move(out);
+}
+
+void SortUnique(std::vector<uint32_t>* v) {
+  std::sort(v->begin(), v->end());
+  v->erase(std::unique(v->begin(), v->end()), v->end());
+}
+
+}  // namespace
+
+bool Executor::SeedNode(int vertex,
+                        const std::vector<PhrasePredicate>& predicates,
+                        NodeState* state) const {
+  state->rel = vertex;
+  state->full = true;
+  state->rows.clear();
+  for (const PhrasePredicate& pred : predicates) {
+    const InvertedIndex& index = db_.TextIndex(pred.column);
+    std::vector<uint32_t> matches = index.MatchPhrase(pred.tokens);
+    if (pred.exact) {
+      const Relation& rel = db_.relation(pred.column.rel);
+      std::vector<uint32_t> exact_rows;
+      for (uint32_t row : matches) {
+        if (Tokenize(rel.TextAt(pred.column.col, row)) == pred.tokens) {
+          exact_rows.push_back(row);
+        }
+      }
+      matches = std::move(exact_rows);
+    }
+    if (state->full) {
+      state->full = false;
+      state->rows = std::move(matches);
+    } else {
+      IntersectSorted(&state->rows, matches);
+    }
+    if (state->Empty()) return false;
+  }
+  return true;
+}
+
+void Executor::Semijoin(NodeState* parent, int edge,
+                        const NodeState& child) const {
+  const ForeignKey& fk = db_.foreign_key(edge);
+  const Relation& to_rel = db_.relation(fk.to_rel);
+  const Relation& from_rel = db_.relation(fk.from_rel);
+
+  if (fk.from_rel == parent->rel) {
+    // Parent holds the FK, child is the PK side.
+    if (child.full) {
+      if (db_.EdgeHasNoDangling(edge)) return;  // every FK row has a partner
+      const std::vector<uint32_t>& valid = db_.ValidFromRows(edge);
+      if (parent->full) {
+        parent->full = false;
+        parent->rows = valid;
+      } else {
+        IntersectSorted(&parent->rows, valid);
+      }
+      return;
+    }
+    if (parent->full) {
+      // Expand: referencing rows of each surviving child PK value.
+      std::vector<uint32_t> result;
+      for (uint32_t child_row : child.rows) {
+        int64_t pk = to_rel.IdAt(fk.to_col, child_row);
+        if (const std::vector<uint32_t>* rows = db_.FkLookup(edge, pk)) {
+          result.insert(result.end(), rows->begin(), rows->end());
+        }
+      }
+      SortUnique(&result);
+      parent->full = false;
+      parent->rows = std::move(result);
+      return;
+    }
+    // Filter parent rows by FK-value membership in the child's PK values.
+    std::unordered_set<int64_t> child_keys;
+    child_keys.reserve(child.rows.size() * 2);
+    for (uint32_t child_row : child.rows) {
+      child_keys.insert(to_rel.IdAt(fk.to_col, child_row));
+    }
+    std::vector<uint32_t> kept;
+    for (uint32_t row : parent->rows) {
+      if (child_keys.count(from_rel.IdAt(fk.from_col, row)) > 0) {
+        kept.push_back(row);
+      }
+    }
+    parent->rows = std::move(kept);
+    return;
+  }
+
+  // Parent is the PK side; child holds the FK.
+  QBE_DCHECK(fk.to_rel == parent->rel);
+  if (child.full) {
+    const std::vector<uint32_t>& referenced = db_.ReferencedRows(edge);
+    if (parent->full) {
+      parent->full = false;
+      parent->rows = referenced;
+    } else {
+      IntersectSorted(&parent->rows, referenced);
+    }
+    return;
+  }
+  std::vector<uint32_t> partners;
+  partners.reserve(child.rows.size());
+  for (uint32_t child_row : child.rows) {
+    int64_t key = from_rel.IdAt(fk.from_col, child_row);
+    int64_t row = db_.PkLookup(fk.to_rel, fk.to_col, key);
+    if (row >= 0) partners.push_back(static_cast<uint32_t>(row));
+  }
+  SortUnique(&partners);
+  if (parent->full) {
+    parent->full = false;
+    parent->rows = std::move(partners);
+  } else {
+    IntersectSorted(&parent->rows, partners);
+  }
+}
+
+Executor::NodeState Executor::Reduce(
+    const JoinTree& tree, int vertex, int via_edge,
+    const std::vector<std::vector<PhrasePredicate>>& preds_by_vertex,
+    bool* feasible) const {
+  NodeState state;
+  if (!SeedNode(vertex, preds_by_vertex[vertex], &state)) {
+    *feasible = false;
+    return state;
+  }
+  for (int e : graph_.IncidentEdges(vertex)) {
+    if (e == via_edge || !tree.edges.Test(e)) continue;
+    int child_vertex = graph_.OtherEnd(e, vertex);
+    NodeState child = Reduce(tree, child_vertex, e, preds_by_vertex, feasible);
+    if (!*feasible) return state;
+    Semijoin(&state, e, child);
+    if (state.Empty()) {
+      *feasible = false;
+      return state;
+    }
+  }
+  return state;
+}
+
+bool Executor::Exists(const JoinTree& tree,
+                      const std::vector<PhrasePredicate>& predicates) const {
+  std::vector<std::vector<PhrasePredicate>> preds_by_vertex(
+      graph_.num_vertices());
+  int root = -1;
+  for (const PhrasePredicate& pred : predicates) {
+    QBE_CHECK_MSG(tree.verts.Test(pred.column.rel),
+                  "predicate column outside join tree");
+    preds_by_vertex[pred.column.rel].push_back(pred);
+    root = pred.column.rel;  // root at some predicate node
+  }
+  if (root < 0) root = tree.verts.First();
+  QBE_CHECK(root >= 0);
+  bool feasible = true;
+  NodeState state = Reduce(tree, root, -1, preds_by_vertex, &feasible);
+  if (!feasible) return false;
+  if (state.full) return db_.relation(root).num_rows() > 0;
+  return !state.rows.empty();
+}
+
+std::vector<std::vector<uint32_t>> Executor::MaterializeAssignments(
+    const JoinTree& tree, const std::vector<PhrasePredicate>& predicates,
+    size_t limit, std::vector<int>* vertex_order) const {
+  std::vector<std::vector<uint32_t>> results;
+  if (limit == 0) return results;
+
+  std::vector<std::vector<PhrasePredicate>> preds_by_vertex(
+      graph_.num_vertices());
+  for (const PhrasePredicate& pred : predicates) {
+    QBE_CHECK(tree.verts.Test(pred.column.rel));
+    preds_by_vertex[pred.column.rel].push_back(pred);
+  }
+
+  // Seed every node; remember per-node candidate sets for filtering.
+  std::vector<int> vertices = tree.Vertices();
+  std::vector<NodeState> seeded(graph_.num_vertices());
+  for (int v : vertices) {
+    if (!SeedNode(v, preds_by_vertex[v], &seeded[v])) return results;
+  }
+
+  // Root at the most selective node (fewest candidate rows; an
+  // unconstrained node counts its full relation).
+  int root = vertices[0];
+  size_t best = SIZE_MAX;
+  for (int v : vertices) {
+    size_t sz = seeded[v].full
+                    ? static_cast<size_t>(db_.relation(v).num_rows())
+                    : seeded[v].rows.size();
+    if (sz < best || (sz == best && !seeded[v].full)) {
+      best = sz;
+      root = v;
+    }
+  }
+
+  // BFS order from root; each vertex is joined via the edge to its parent.
+  std::vector<int> order = {root};
+  std::vector<int> via_edge = {-1};
+  std::vector<int> parent_pos = {-1};
+  {
+    RelationSet visited;
+    visited.Set(root);
+    for (size_t i = 0; i < order.size(); ++i) {
+      int v = order[i];
+      for (int e : graph_.IncidentEdges(v)) {
+        if (!tree.edges.Test(e)) continue;
+        int other = graph_.OtherEnd(e, v);
+        if (visited.Test(other)) continue;
+        visited.Set(other);
+        order.push_back(other);
+        via_edge.push_back(e);
+        parent_pos.push_back(static_cast<int>(i));
+      }
+    }
+  }
+  if (vertex_order != nullptr) *vertex_order = order;
+
+  // Membership filters for non-root nodes.
+  std::vector<std::unordered_set<uint32_t>> allowed(order.size());
+  for (size_t i = 1; i < order.size(); ++i) {
+    const NodeState& s = seeded[order[i]];
+    if (!s.full) allowed[i] = {s.rows.begin(), s.rows.end()};
+  }
+
+  std::vector<uint32_t> assignment(order.size(), 0);
+  // Depth-first assignment with early exit at `limit`.
+  auto assign = [&](auto&& self, size_t pos) -> bool {
+    if (pos == order.size()) {
+      results.push_back(assignment);
+      return results.size() >= limit;
+    }
+    int v = order[pos];
+    int e = via_edge[pos];
+    const ForeignKey& fk = db_.foreign_key(e);
+    uint32_t parent_row = assignment[parent_pos[pos]];
+    const NodeState& seed = seeded[v];
+    auto try_row = [&](uint32_t row) -> bool {
+      if (!seed.full && allowed[pos].count(row) == 0) return false;
+      assignment[pos] = row;
+      return self(self, pos + 1);
+    };
+    if (fk.from_rel == v) {
+      // Child rows reference the parent's PK value.
+      int parent_vertex = order[parent_pos[pos]];
+      int64_t key = db_.relation(parent_vertex).IdAt(fk.to_col, parent_row);
+      if (const std::vector<uint32_t>* rows = db_.FkLookup(e, key)) {
+        for (uint32_t row : *rows) {
+          if (try_row(row)) return true;
+        }
+      }
+    } else {
+      // Child is the PK side of the parent's FK: at most one partner row.
+      int parent_vertex = order[parent_pos[pos]];
+      int64_t key =
+          db_.relation(parent_vertex).IdAt(fk.from_col, parent_row);
+      int64_t row = db_.PkLookup(fk.to_rel, fk.to_col, key);
+      if (row >= 0 && try_row(static_cast<uint32_t>(row))) return true;
+    }
+    return false;
+  };
+
+  const NodeState& root_seed = seeded[root];
+  if (root_seed.full) {
+    uint32_t n = db_.relation(root).num_rows();
+    for (uint32_t row = 0; row < n; ++row) {
+      assignment[0] = row;
+      if (assign(assign, 1)) break;
+    }
+  } else {
+    for (uint32_t row : root_seed.rows) {
+      assignment[0] = row;
+      if (assign(assign, 1)) break;
+    }
+  }
+  return results;
+}
+
+std::vector<std::vector<std::string>> Executor::Materialize(
+    const JoinTree& tree, const std::vector<PhrasePredicate>& predicates,
+    const std::vector<ColumnRef>& projection, size_t limit) const {
+  std::vector<int> order;
+  std::vector<std::vector<uint32_t>> assignments =
+      MaterializeAssignments(tree, predicates, limit, &order);
+
+  std::vector<int> vertex_pos(graph_.num_vertices(), -1);
+  for (size_t i = 0; i < order.size(); ++i) vertex_pos[order[i]] = i;
+
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(assignments.size());
+  for (const std::vector<uint32_t>& assignment : assignments) {
+    std::vector<std::string> row;
+    row.reserve(projection.size());
+    for (const ColumnRef& col : projection) {
+      int pos = vertex_pos[col.rel];
+      QBE_CHECK_MSG(pos >= 0, "projection column outside join tree");
+      row.push_back(db_.relation(col.rel).TextAt(col.col, assignment[pos]));
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace qbe

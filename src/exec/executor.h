@@ -1,0 +1,78 @@
+#ifndef QBE_EXEC_EXECUTOR_H_
+#define QBE_EXEC_EXECUTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/predicate.h"
+#include "schema/join_tree.h"
+#include "schema/schema_graph.h"
+#include "storage/database.h"
+
+namespace qbe {
+
+/// Join-tree executor: the stand-in for the paper's SQL Server backend.
+/// Evaluates existence queries
+///
+///   SELECT TOP 1 * FROM V(J) WHERE E(J) AND ⋀ CONTAINS(col, phrase)
+///
+/// with one bottom-up semijoin pass over the join tree (exact for acyclic
+/// queries, per Yannakakis), seeded from the FTS indexes, and full
+/// materialization for ET-matrix construction and tuple-tree weaving.
+class Executor {
+ public:
+  Executor(const Database& db, const SchemaGraph& graph)
+      : db_(db), graph_(graph) {}
+
+  /// True iff the join of `tree` has at least one result row satisfying all
+  /// `predicates` (which must reference text columns of tree relations).
+  /// This is the engine behind every CQ-row and filter verification.
+  bool Exists(const JoinTree& tree,
+              const std::vector<PhrasePredicate>& predicates) const;
+
+  /// Materializes up to `limit` result tuples of the join of `tree` under
+  /// `predicates`, projected onto `projection` (text columns). Used to build
+  /// the ET-generation matrices (§6.1).
+  std::vector<std::vector<std::string>> Materialize(
+      const JoinTree& tree, const std::vector<PhrasePredicate>& predicates,
+      const std::vector<ColumnRef>& projection, size_t limit) const;
+
+  /// Materializes up to `limit` *tuple trees*: complete row assignments, one
+  /// row id per tree vertex. `vertex_order` receives the vertex ids in the
+  /// order used by each assignment. Used by the tuple-tree WEAVE comparator
+  /// whose memory footprint Figure 16 charts.
+  std::vector<std::vector<uint32_t>> MaterializeAssignments(
+      const JoinTree& tree, const std::vector<PhrasePredicate>& predicates,
+      size_t limit, std::vector<int>* vertex_order) const;
+
+ private:
+  struct NodeState {
+    int rel = -1;
+    bool full = true;                // no restriction yet
+    std::vector<uint32_t> rows;      // sorted, meaningful iff !full
+    bool Empty() const { return !full && rows.empty(); }
+  };
+
+  /// Applies this node's own predicates; returns false if unsatisfiable.
+  bool SeedNode(int vertex, const std::vector<PhrasePredicate>& predicates,
+                NodeState* state) const;
+
+  /// Reduces `parent` to the rows having at least one join partner in
+  /// `child` via `edge` (a semijoin). Exactness relies on tree-shaped joins.
+  void Semijoin(NodeState* parent, int edge, const NodeState& child) const;
+
+  /// Bottom-up reduction of the subtree rooted at `vertex` (entered from
+  /// `via_edge`, -1 at the root). Returns the reduced root state.
+  NodeState Reduce(const JoinTree& tree, int vertex, int via_edge,
+                   const std::vector<std::vector<PhrasePredicate>>&
+                       preds_by_vertex,
+                   bool* feasible) const;
+
+  const Database& db_;
+  const SchemaGraph& graph_;
+};
+
+}  // namespace qbe
+
+#endif  // QBE_EXEC_EXECUTOR_H_

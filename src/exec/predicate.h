@@ -1,0 +1,24 @@
+#ifndef QBE_EXEC_PREDICATE_H_
+#define QBE_EXEC_PREDICATE_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/database.h"
+
+namespace qbe {
+
+/// A keyphrase containment predicate — the `CONTAINS(column, 'phrase')`
+/// conjunct of a CQ-row verification query (§4.1). `tokens` is the
+/// tokenized ET cell value; when `exact` is set the phrase must equal the
+/// whole cell (the paper's exact-match extension for numbers, §2.2
+/// Remarks).
+struct PhrasePredicate {
+  ColumnRef column;
+  std::vector<std::string> tokens;
+  bool exact = false;
+};
+
+}  // namespace qbe
+
+#endif  // QBE_EXEC_PREDICATE_H_

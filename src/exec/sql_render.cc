@@ -1,0 +1,77 @@
+#include "exec/sql_render.h"
+
+#include "util/string_util.h"
+
+namespace qbe {
+namespace {
+
+std::string FromClause(const Database& db, const JoinTree& tree) {
+  std::vector<std::string> names;
+  tree.verts.ForEach([&](int v) { names.push_back(db.relation(v).name()); });
+  return JoinStrings(names, ", ");
+}
+
+std::vector<std::string> JoinConditions(const Database& db,
+                                        const JoinTree& tree) {
+  std::vector<std::string> conds;
+  tree.edges.ForEach([&](int e) {
+    const ForeignKey& fk = db.foreign_key(e);
+    conds.push_back(
+        db.QualifiedColumnName(ColumnRef{fk.from_rel, fk.from_col}) + " = " +
+        db.QualifiedColumnName(ColumnRef{fk.to_rel, fk.to_col}));
+  });
+  return conds;
+}
+
+std::string DefaultLabel(size_t i) {
+  std::string label;
+  // A, B, ..., Z, AA, AB, ... like spreadsheet columns.
+  size_t n = i;
+  do {
+    label.insert(label.begin(), static_cast<char>('A' + n % 26));
+    n = n / 26;
+  } while (n-- > 0);
+  return label;
+}
+
+}  // namespace
+
+std::string RenderProjectJoinSql(const Database& db, const SchemaGraph& graph,
+                                 const JoinTree& tree,
+                                 const std::vector<ColumnRef>& projection,
+                                 const std::vector<std::string>&
+                                     column_labels) {
+  (void)graph;
+  std::vector<std::string> select_items;
+  for (size_t i = 0; i < projection.size(); ++i) {
+    std::string label = i < column_labels.size() && !column_labels[i].empty()
+                            ? column_labels[i]
+                            : DefaultLabel(i);
+    select_items.push_back(db.QualifiedColumnName(projection[i]) + " AS " +
+                           label);
+  }
+  std::string sql =
+      "SELECT " + JoinStrings(select_items, ", ") + " FROM " +
+      FromClause(db, tree);
+  std::vector<std::string> conds = JoinConditions(db, tree);
+  if (!conds.empty()) sql += " WHERE " + JoinStrings(conds, " AND ");
+  return sql;
+}
+
+std::string RenderVerificationSql(const Database& db, const SchemaGraph& graph,
+                                  const JoinTree& tree,
+                                  const std::vector<PhrasePredicate>&
+                                      predicates) {
+  (void)graph;
+  std::string sql = "SELECT TOP 1 * FROM " + FromClause(db, tree);
+  std::vector<std::string> conds = JoinConditions(db, tree);
+  for (const PhrasePredicate& pred : predicates) {
+    conds.push_back((pred.exact ? std::string("EQUALS(") : "CONTAINS(") +
+                    db.QualifiedColumnName(pred.column) + ", '" +
+                    JoinStrings(pred.tokens, " ") + "')");
+  }
+  if (!conds.empty()) sql += " WHERE " + JoinStrings(conds, " AND ");
+  return sql;
+}
+
+}  // namespace qbe

@@ -1,0 +1,38 @@
+#ifndef QBE_EXEC_SQL_RENDER_H_
+#define QBE_EXEC_SQL_RENDER_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/predicate.h"
+#include "schema/join_tree.h"
+#include "schema/schema_graph.h"
+#include "storage/database.h"
+
+namespace qbe {
+
+/// Renders the project-join query (J, C, φ) as SQL in the paper's style:
+///
+///   SELECT Customer.CustName AS A, ... FROM Sales, Customer, ...
+///   WHERE Sales.CustId = Customer.CustId AND ...
+///
+/// `projection[i]` is the base-table column mapped from ET column i;
+/// `column_labels[i]` is the ET column's display name (defaults to A, B, …
+/// when empty). This is the system's user-facing output.
+std::string RenderProjectJoinSql(const Database& db, const SchemaGraph& graph,
+                                 const JoinTree& tree,
+                                 const std::vector<ColumnRef>& projection,
+                                 const std::vector<std::string>&
+                                     column_labels = {});
+
+/// Renders the CQ-row / filter verification query of §4.1:
+///
+///   SELECT TOP 1 * FROM ... WHERE <joins> AND CONTAINS(col, 'phrase') ...
+std::string RenderVerificationSql(const Database& db, const SchemaGraph& graph,
+                                  const JoinTree& tree,
+                                  const std::vector<PhrasePredicate>&
+                                      predicates);
+
+}  // namespace qbe
+
+#endif  // QBE_EXEC_SQL_RENDER_H_

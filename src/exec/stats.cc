@@ -1,0 +1,82 @@
+#include "exec/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qbe {
+
+Statistics::Statistics(const Database& db) : db_(db) {
+  relation_rows_.resize(db.num_relations());
+  for (int r = 0; r < db.num_relations(); ++r) {
+    relation_rows_[r] = static_cast<double>(db.relation(r).num_rows());
+  }
+  edge_fanout_.resize(db.foreign_keys().size());
+  for (const ForeignKey& fk : db.foreign_keys()) {
+    double from_rows = relation_rows_[fk.from_rel];
+    double distinct = static_cast<double>(db.FkDistinctValues(fk.id));
+    edge_fanout_[fk.id] = distinct > 0 ? from_rows / distinct : 0.0;
+  }
+}
+
+double Statistics::EstimatePhraseMatches(
+    const ColumnRef& column, const std::vector<std::string>& tokens) const {
+  const InvertedIndex& index = db_.TextIndex(column);
+  if (tokens.empty()) return static_cast<double>(index.num_rows());
+  double best = static_cast<double>(index.num_rows());
+  for (const std::string& token : tokens) {
+    best = std::min(best, static_cast<double>(index.TokenRowCount(token)));
+  }
+  return best;
+}
+
+double Statistics::PredicateSelectivity(
+    const PhrasePredicate& predicate) const {
+  double rows = relation_rows_[predicate.column.rel];
+  if (rows <= 0) return 0.0;
+  return EstimatePhraseMatches(predicate.column, predicate.tokens) / rows;
+}
+
+double Statistics::EstimateJoinCardinality(
+    const SchemaGraph& graph, const JoinTree& tree,
+    const std::vector<PhrasePredicate>& predicates) const {
+  (void)graph;
+  double cardinality = 1.0;
+  tree.verts.ForEach([&](int v) { cardinality *= relation_rows_[v]; });
+  // Each FK join keeps at most one PK partner per referencing row:
+  // selectivity 1/rows(pk side).
+  tree.edges.ForEach([&](int e) {
+    double pk_rows = relation_rows_[db_.foreign_key(e).to_rel];
+    cardinality *= pk_rows > 0 ? 1.0 / pk_rows : 0.0;
+  });
+  for (const PhrasePredicate& predicate : predicates) {
+    cardinality *= PredicateSelectivity(predicate);
+  }
+  return cardinality;
+}
+
+double Statistics::EstimateProbeCost(
+    const SchemaGraph& graph, const JoinTree& tree,
+    const std::vector<PhrasePredicate>& predicates) const {
+  (void)graph;
+  // Seed: the most selective access path available.
+  double seed = -1.0;
+  for (const PhrasePredicate& predicate : predicates) {
+    double matches =
+        EstimatePhraseMatches(predicate.column, predicate.tokens);
+    if (seed < 0 || matches < seed) seed = matches;
+  }
+  if (seed < 0) {
+    // No predicate: the executor scans the smallest relation.
+    tree.verts.ForEach([&](int v) {
+      if (seed < 0 || relation_rows_[v] < seed) seed = relation_rows_[v];
+    });
+  }
+  // Each join step touches the frontier once; reverse edges multiply by
+  // the fanout. A coarse but monotone model: seed × (1 + Σ per-edge
+  // expansion), floored at 1 so cost ratios stay finite.
+  double expansion = 0.0;
+  tree.edges.ForEach([&](int e) { expansion += 1.0 + edge_fanout_[e]; });
+  return std::max(1.0, seed * (1.0 + expansion * 0.1) + expansion);
+}
+
+}  // namespace qbe

@@ -1,0 +1,64 @@
+#ifndef QBE_EXEC_STATS_H_
+#define QBE_EXEC_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/predicate.h"
+#include "schema/join_tree.h"
+#include "schema/schema_graph.h"
+#include "storage/database.h"
+
+namespace qbe {
+
+/// System-R-style cardinality and cost estimation over the FTS and join
+/// indexes. The paper notes that "the cost of evaluating a filter is hard
+/// to estimate in general" and falls back to join count; this module
+/// provides the index-statistics alternative — phrase selectivities from
+/// posting lists and per-edge fanouts from the FK indexes — which backs
+/// FILTER's optional estimated-cost model (ablated in
+/// bench_ablation_filter).
+class Statistics {
+ public:
+  /// Snapshot of the database's statistics; the database must have its
+  /// indexes built and outlive this object.
+  explicit Statistics(const Database& db);
+
+  /// Estimated number of rows of `column`'s relation whose cell contains
+  /// the phrase: the minimum of the tokens' document frequencies (a phrase
+  /// never matches more rows than its rarest token).
+  double EstimatePhraseMatches(const ColumnRef& column,
+                               const std::vector<std::string>& tokens) const;
+
+  /// Selectivity (fraction of rows) of one predicate on its relation.
+  double PredicateSelectivity(const PhrasePredicate& predicate) const;
+
+  /// Estimated output cardinality of the join of `tree` under
+  /// `predicates`: Π relation sizes × Π per-edge FK-join selectivities ×
+  /// Π predicate selectivities (independence assumed, as usual).
+  double EstimateJoinCardinality(
+      const SchemaGraph& graph, const JoinTree& tree,
+      const std::vector<PhrasePredicate>& predicates) const;
+
+  /// Estimated work of a TOP-1 existence probe over `tree`: the seed set
+  /// (rows matching the most selective predicate, or the smallest relation
+  /// when unconstrained) expanded across the joins. This is the
+  /// estimated-cost alternative to the paper's "number of joins" proxy.
+  double EstimateProbeCost(
+      const SchemaGraph& graph, const JoinTree& tree,
+      const std::vector<PhrasePredicate>& predicates) const;
+
+  double relation_rows(int rel) const { return relation_rows_[rel]; }
+
+  /// Average referencing rows per referenced key on `edge`.
+  double edge_fanout(int edge) const { return edge_fanout_[edge]; }
+
+ private:
+  const Database& db_;
+  std::vector<double> relation_rows_;
+  std::vector<double> edge_fanout_;
+};
+
+}  // namespace qbe
+
+#endif  // QBE_EXEC_STATS_H_

@@ -1,0 +1,62 @@
+#include "harness/table_printer.h"
+
+#include <cstdio>
+#include <ostream>
+
+#include "util/check.h"
+
+namespace qbe {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  QBE_CHECK(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print(std::ostream& out) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "| " : " | ");
+      out << row[c];
+      out << std::string(widths[c] - row[c].size(), ' ');
+    }
+    out << " |\n";
+  };
+  print_row(headers_);
+  std::string sep = "|";
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    sep += std::string(widths[c] + 2, '-') + "|";
+  }
+  out << sep << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string FormatDouble(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string FormatBytes(double bytes) {
+  if (bytes >= 1024.0 * 1024.0 * 1024.0) {
+    return FormatDouble(bytes / (1024.0 * 1024.0 * 1024.0), 2) + " GB";
+  }
+  if (bytes >= 1024.0 * 1024.0) {
+    return FormatDouble(bytes / (1024.0 * 1024.0), 2) + " MB";
+  }
+  if (bytes >= 1024.0) {
+    return FormatDouble(bytes / 1024.0, 1) + " KB";
+  }
+  return FormatDouble(bytes, 0) + " B";
+}
+
+}  // namespace qbe

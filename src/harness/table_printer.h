@@ -1,0 +1,32 @@
+#ifndef QBE_HARNESS_TABLE_PRINTER_H_
+#define QBE_HARNESS_TABLE_PRINTER_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace qbe {
+
+/// Fixed-width ASCII table rendering for the benchmark harness output
+/// (paper-style experiment rows).
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  void Print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `precision` decimals ("12.34").
+std::string FormatDouble(double value, int precision);
+
+/// Formats a byte count as "12.3 MB" / "4.5 KB".
+std::string FormatBytes(double bytes);
+
+}  // namespace qbe
+
+#endif  // QBE_HARNESS_TABLE_PRINTER_H_

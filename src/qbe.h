@@ -1,0 +1,19 @@
+#ifndef QBE_QBE_H_
+#define QBE_QBE_H_
+
+// Umbrella header for the qbe library's public API: build a Database,
+// pose an ExampleTable, call DiscoverQueries (or drive a DiscoverySession
+// interactively). See README.md for a walkthrough and DESIGN.md for the
+// architecture.
+
+#include "core/discovery.h"       // DiscoverQueries, DiscoveryOptions
+#include "core/example_table.h"   // ExampleTable, EtCell
+#include "core/explain.h"         // ExplainDiscovery
+#include "core/keyword_search.h"  // DiscoverByKeywords
+#include "core/session.h"         // DiscoverySession
+#include "exec/sql_render.h"      // SQL rendering of discovered queries
+#include "storage/catalog_io.h"   // SaveDatabase / LoadDatabase
+#include "storage/csv.h"          // LoadRelationFromCsv
+#include "storage/database.h"     // Database, Relation, ForeignKey
+
+#endif  // QBE_QBE_H_

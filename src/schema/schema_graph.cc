@@ -1,0 +1,23 @@
+#include "schema/schema_graph.h"
+
+#include "util/check.h"
+
+namespace qbe {
+
+SchemaGraph::SchemaGraph(const Database& db)
+    : num_vertices_(db.num_relations()) {
+  QBE_CHECK_MSG(num_vertices_ <= RelationSet::kCapacity,
+                "too many relations for RelationSet capacity");
+  QBE_CHECK_MSG(static_cast<int>(db.foreign_keys().size()) <=
+                    EdgeSet::kCapacity,
+                "too many foreign keys for EdgeSet capacity");
+  incident_.resize(num_vertices_);
+  for (const ForeignKey& fk : db.foreign_keys()) {
+    Edge e{fk.id, fk.from_rel, fk.to_rel};
+    edges_.push_back(e);
+    incident_[e.from].push_back(e.id);
+    if (e.to != e.from) incident_[e.to].push_back(e.id);
+  }
+}
+
+}  // namespace qbe

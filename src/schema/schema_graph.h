@@ -1,0 +1,51 @@
+#ifndef QBE_SCHEMA_SCHEMA_GRAPH_H_
+#define QBE_SCHEMA_SCHEMA_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/database.h"
+#include "util/small_bitset.h"
+
+namespace qbe {
+
+/// The directed schema graph G(V, E) of §2.1: vertices are relations, edges
+/// are foreign-key references (possibly several between the same pair of
+/// relations, distinguished by label). Join trees treat edges as undirected;
+/// the stored direction (from = FK side, to = PK side) drives join
+/// execution.
+class SchemaGraph {
+ public:
+  struct Edge {
+    int id;
+    int from;  // FK-side relation
+    int to;    // PK-side relation
+  };
+
+  /// Builds the schema graph from the database catalog.
+  explicit SchemaGraph(const Database& db);
+
+  int num_vertices() const { return num_vertices_; }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+  const Edge& edge(int id) const { return edges_[id]; }
+
+  /// Edges incident to `vertex` (in either direction).
+  const std::vector<int>& IncidentEdges(int vertex) const {
+    return incident_[vertex];
+  }
+
+  /// The endpoint of `edge_id` that is not `vertex`.
+  int OtherEnd(int edge_id, int vertex) const {
+    const Edge& e = edges_[edge_id];
+    return e.from == vertex ? e.to : e.from;
+  }
+
+ private:
+  int num_vertices_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<int>> incident_;
+};
+
+}  // namespace qbe
+
+#endif  // QBE_SCHEMA_SCHEMA_GRAPH_H_

@@ -1,0 +1,92 @@
+#include "schema/subtree_enum.h"
+
+#include <unordered_set>
+
+namespace qbe {
+namespace {
+
+/// Breadth-first growth with global deduplication. Schema graphs are small
+/// (≤ ~100 vertices, ≤ ~70 edges in the paper's datasets) and max_vertices
+/// is ≤ 6, so the frontier stays tiny; the hash-set dedup keeps the
+/// enumeration simple and provably complete (every tree of size k+1 is an
+/// extension of one of its size-k subtrees).
+void GrowTrees(const SchemaGraph& graph, int max_vertices,
+               std::vector<JoinTree>& work,
+               std::unordered_set<JoinTree, JoinTreeHash>& seen,
+               std::vector<JoinTree>& out) {
+  size_t head = 0;
+  while (head < work.size()) {
+    JoinTree tree = work[head++];
+    if (tree.NumVertices() >= max_vertices) continue;
+    std::vector<int> vertices = tree.Vertices();
+    for (int v : vertices) {
+      for (int e : graph.IncidentEdges(v)) {
+        const SchemaGraph::Edge& edge = graph.edge(e);
+        int other = graph.OtherEnd(e, v);
+        if (edge.from == edge.to) continue;       // self-loop: never a tree edge
+        if (tree.verts.Test(other)) continue;     // would close a cycle
+        JoinTree extended = ExtendTree(tree, graph, e);
+        if (seen.insert(extended).second) {
+          out.push_back(extended);
+          work.push_back(extended);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<JoinTree> EnumerateSubtrees(const SchemaGraph& graph,
+                                        int max_vertices,
+                                        const RelationSet* required) {
+  std::vector<JoinTree> out;
+  if (max_vertices <= 0) return out;
+  std::vector<JoinTree> work;
+  std::unordered_set<JoinTree, JoinTreeHash> seen;
+  for (int v = 0; v < graph.num_vertices(); ++v) {
+    if (required != nullptr && !required->Test(v)) continue;
+    JoinTree single = JoinTree::Single(v);
+    if (seen.insert(single).second) {
+      out.push_back(single);
+      work.push_back(single);
+    }
+  }
+  GrowTrees(graph, max_vertices, work, seen, out);
+  return out;
+}
+
+std::vector<JoinTree> EnumerateSubtreesOfTree(const JoinTree& tree,
+                                              const SchemaGraph& graph) {
+  std::vector<JoinTree> out;
+  std::vector<JoinTree> work;
+  std::unordered_set<JoinTree, JoinTreeHash> seen;
+  tree.verts.ForEach([&](int v) {
+    JoinTree single = JoinTree::Single(v);
+    if (seen.insert(single).second) {
+      out.push_back(single);
+      work.push_back(single);
+    }
+  });
+  // Same growth, but restricted to the host tree's edges.
+  size_t head = 0;
+  while (head < work.size()) {
+    JoinTree current = work[head++];
+    std::vector<int> vertices = current.Vertices();
+    for (int v : vertices) {
+      for (int e : graph.IncidentEdges(v)) {
+        if (!tree.edges.Test(e)) continue;
+        int other = graph.OtherEnd(e, v);
+        if (current.verts.Test(other)) continue;
+        JoinTree extended = ExtendTree(current, graph, e);
+        if (seen.insert(extended).second) {
+          out.push_back(extended);
+          work.push_back(extended);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace qbe

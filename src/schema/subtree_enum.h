@@ -1,0 +1,33 @@
+#ifndef QBE_SCHEMA_SUBTREE_ENUM_H_
+#define QBE_SCHEMA_SUBTREE_ENUM_H_
+
+#include <vector>
+
+#include "schema/join_tree.h"
+#include "schema/schema_graph.h"
+
+namespace qbe {
+
+/// Enumerates every connected subtree of the schema graph with at most
+/// `max_vertices` vertices (join trees with at most `max_vertices − 1`
+/// joins — the paper's "maximal join length" l bounds this size). Trees are
+/// deduplicated by their (vertex set, edge set) identity; note that a cyclic
+/// schema region yields several distinct trees over the same vertex set.
+///
+/// If `required` is non-null, only trees whose vertex set intersects
+/// `required` are seeded (an optimization for candidate generation, where
+/// any useful tree must touch a relation holding a candidate projection
+/// column).
+std::vector<JoinTree> EnumerateSubtrees(const SchemaGraph& graph,
+                                        int max_vertices,
+                                        const RelationSet* required = nullptr);
+
+/// Enumerates every connected subtree of `tree` (including all single-vertex
+/// trees and `tree` itself). This is the filter universe generator of §5.1:
+/// each candidate's filters range over its connected sub-join trees.
+std::vector<JoinTree> EnumerateSubtreesOfTree(const JoinTree& tree,
+                                              const SchemaGraph& graph);
+
+}  // namespace qbe
+
+#endif  // QBE_SCHEMA_SUBTREE_ENUM_H_

@@ -1,0 +1,134 @@
+#include "storage/catalog_io.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "storage/csv.h"
+#include "util/string_util.h"
+
+namespace qbe {
+namespace {
+
+constexpr char kManifestName[] = "schema.manifest";
+
+}  // namespace
+
+bool SaveDatabase(const Database& db, const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return false;
+
+  std::ofstream manifest(std::filesystem::path(dir) / kManifestName);
+  if (!manifest) return false;
+  manifest << "# qbe database manifest\n";
+  for (int r = 0; r < db.num_relations(); ++r) {
+    const Relation& rel = db.relation(r);
+    std::string file = rel.name() + ".csv";
+    if (!WriteRelationToCsv(rel,
+                            (std::filesystem::path(dir) / file).string())) {
+      return false;
+    }
+    manifest << "relation " << rel.name() << " " << file << " ";
+    for (int c = 0; c < rel.num_columns(); ++c) {
+      if (c > 0) manifest << ",";
+      manifest << (rel.columns()[c].type == ColumnType::kId ? "id" : "text");
+    }
+    manifest << "\n";
+  }
+  for (const ForeignKey& fk : db.foreign_keys()) {
+    manifest << "fk " << db.relation(fk.from_rel).name() << "."
+             << db.relation(fk.from_rel).columns()[fk.from_col].name
+             << " -> " << db.relation(fk.to_rel).name() << "."
+             << db.relation(fk.to_rel).columns()[fk.to_col].name << "\n";
+  }
+  return static_cast<bool>(manifest);
+}
+
+std::optional<Database> LoadDatabase(const std::string& dir) {
+  std::ifstream manifest(std::filesystem::path(dir) / kManifestName);
+  if (!manifest) return std::nullopt;
+
+  Database db;
+  std::string line;
+  struct PendingFk {
+    std::string from_rel, from_col, to_rel, to_col;
+  };
+  std::vector<PendingFk> fks;
+
+  while (std::getline(manifest, line)) {
+    std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped[0] == '#') continue;
+    std::vector<std::string> parts;
+    for (const std::string& piece : SplitString(std::string(stripped), ' ')) {
+      if (!piece.empty()) parts.push_back(piece);
+    }
+    if (parts[0] == "relation") {
+      if (parts.size() != 4) return std::nullopt;
+      const std::string& name = parts[1];
+      std::string path = (std::filesystem::path(dir) / parts[2]).string();
+      std::optional<Relation> loaded = LoadRelationFromCsv(name, path);
+      if (!loaded.has_value()) return std::nullopt;
+      // Re-type columns per the manifest: CSV inference can misjudge (an
+      // empty text column of digits), the manifest is authoritative.
+      std::vector<std::string> types = SplitString(parts[3], ',');
+      if (static_cast<int>(types.size()) != loaded->num_columns()) {
+        return std::nullopt;
+      }
+      std::vector<ColumnDef> defs;
+      for (int c = 0; c < loaded->num_columns(); ++c) {
+        if (types[c] != "id" && types[c] != "text") return std::nullopt;
+        defs.push_back(ColumnDef{loaded->columns()[c].name,
+                                 types[c] == "id" ? ColumnType::kId
+                                                  : ColumnType::kText});
+      }
+      Relation retyped(name, defs);
+      for (uint32_t row = 0; row < loaded->num_rows(); ++row) {
+        std::vector<Value> values;
+        for (int c = 0; c < loaded->num_columns(); ++c) {
+          if (defs[c].type == ColumnType::kId) {
+            if (loaded->columns()[c].type != ColumnType::kId) {
+              return std::nullopt;  // manifest demands id, data is text
+            }
+            values.emplace_back(loaded->IdAt(c, row));
+          } else if (loaded->columns()[c].type == ColumnType::kId) {
+            values.emplace_back(std::to_string(loaded->IdAt(c, row)));
+          } else {
+            values.emplace_back(loaded->TextAt(c, row));
+          }
+        }
+        retyped.AppendRow(values);
+      }
+      db.AddRelation(std::move(retyped));
+    } else if (parts[0] == "fk") {
+      // fk A.x -> B.y
+      if (parts.size() != 4 || parts[2] != "->") return std::nullopt;
+      auto split_ref = [](const std::string& ref,
+                          std::string* rel) -> std::optional<std::string> {
+        size_t dot = ref.find('.');
+        if (dot == std::string::npos) return std::nullopt;
+        *rel = ref.substr(0, dot);
+        return ref.substr(dot + 1);
+      };
+      PendingFk fk;
+      auto from_col = split_ref(parts[1], &fk.from_rel);
+      auto to_col = split_ref(parts[3], &fk.to_rel);
+      if (!from_col || !to_col) return std::nullopt;
+      fk.from_col = *from_col;
+      fk.to_col = *to_col;
+      fks.push_back(std::move(fk));
+    } else {
+      return std::nullopt;
+    }
+  }
+  for (const PendingFk& fk : fks) {
+    if (db.RelationIdByName(fk.from_rel) < 0 ||
+        db.RelationIdByName(fk.to_rel) < 0) {
+      return std::nullopt;
+    }
+    db.AddForeignKey(fk.from_rel, fk.from_col, fk.to_rel, fk.to_col);
+  }
+  db.BuildIndexes();
+  return db;
+}
+
+}  // namespace qbe

@@ -1,0 +1,29 @@
+#ifndef QBE_STORAGE_CATALOG_IO_H_
+#define QBE_STORAGE_CATALOG_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "storage/database.h"
+
+namespace qbe {
+
+/// Persists a database to `dir`: one CSV file per relation plus a
+/// `schema.manifest` recording relation order, column types and foreign
+/// keys. The format is deliberately human-editable — users can point the
+/// loader at a directory of hand-made CSVs plus a manifest instead of
+/// writing loader code.
+///
+/// Manifest grammar (one statement per line, '#' comments):
+///   relation <name> <file.csv> <type>[,<type>...]   # type: id | text
+///   fk <from_rel>.<from_col> -> <to_rel>.<to_col>
+bool SaveDatabase(const Database& db, const std::string& dir);
+
+/// Loads a database saved by SaveDatabase (or hand-authored in the same
+/// format) and builds its indexes. Returns std::nullopt on any I/O or
+/// format error.
+std::optional<Database> LoadDatabase(const std::string& dir);
+
+}  // namespace qbe
+
+#endif  // QBE_STORAGE_CATALOG_IO_H_

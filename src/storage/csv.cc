@@ -1,0 +1,138 @@
+#include "storage/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace qbe {
+namespace {
+
+bool ParsesAsInt(const std::string& s, int64_t* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+std::string EscapeCsv(const std::string& s) {
+  bool needs_quotes = s.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> ParseCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+std::optional<Relation> LoadRelationFromCsv(const std::string& relation_name,
+                                            const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::string line;
+  if (!std::getline(in, line)) return std::nullopt;
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  std::vector<std::string> header = ParseCsvLine(line);
+  if (header.empty()) return std::nullopt;
+
+  std::vector<std::vector<std::string>> raw_rows;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    std::vector<std::string> fields = ParseCsvLine(line);
+    if (fields.size() != header.size()) return std::nullopt;
+    raw_rows.push_back(std::move(fields));
+  }
+
+  // Infer column types: id iff every value parses as an integer.
+  std::vector<ColumnDef> defs;
+  for (size_t c = 0; c < header.size(); ++c) {
+    bool all_int = !raw_rows.empty();
+    int64_t unused;
+    for (const auto& row : raw_rows) {
+      if (!ParsesAsInt(row[c], &unused)) {
+        all_int = false;
+        break;
+      }
+    }
+    defs.push_back(
+        ColumnDef{header[c], all_int ? ColumnType::kId : ColumnType::kText});
+  }
+
+  Relation rel(relation_name, defs);
+  for (const auto& raw : raw_rows) {
+    std::vector<Value> values;
+    values.reserve(raw.size());
+    for (size_t c = 0; c < raw.size(); ++c) {
+      if (defs[c].type == ColumnType::kId) {
+        int64_t v = 0;
+        ParsesAsInt(raw[c], &v);
+        values.emplace_back(v);
+      } else {
+        values.emplace_back(raw[c]);
+      }
+    }
+    rel.AppendRow(values);
+  }
+  return rel;
+}
+
+bool WriteRelationToCsv(const Relation& relation, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  const auto& defs = relation.columns();
+  for (size_t c = 0; c < defs.size(); ++c) {
+    if (c > 0) out << ',';
+    out << EscapeCsv(defs[c].name);
+  }
+  out << '\n';
+  for (uint32_t row = 0; row < relation.num_rows(); ++row) {
+    for (size_t c = 0; c < defs.size(); ++c) {
+      if (c > 0) out << ',';
+      if (defs[c].type == ColumnType::kId) {
+        out << relation.IdAt(static_cast<int>(c), row);
+      } else {
+        out << EscapeCsv(relation.TextAt(static_cast<int>(c), row));
+      }
+    }
+    out << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+}  // namespace qbe

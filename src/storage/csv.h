@@ -1,0 +1,27 @@
+#ifndef QBE_STORAGE_CSV_H_
+#define QBE_STORAGE_CSV_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "storage/relation.h"
+
+namespace qbe {
+
+/// Parses one CSV line with standard double-quote escaping.
+std::vector<std::string> ParseCsvLine(const std::string& line);
+
+/// Loads a relation from a CSV file. The header row provides column names;
+/// a column whose every non-header value parses as an integer becomes an id
+/// column, everything else a text column. Returns std::nullopt on I/O or
+/// parse errors (ragged rows).
+std::optional<Relation> LoadRelationFromCsv(const std::string& relation_name,
+                                            const std::string& path);
+
+/// Writes `relation` to `path` (header + rows). Returns false on I/O error.
+bool WriteRelationToCsv(const Relation& relation, const std::string& path);
+
+}  // namespace qbe
+
+#endif  // QBE_STORAGE_CSV_H_

@@ -1,0 +1,173 @@
+#include "storage/database.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace qbe {
+namespace {
+
+int64_t PkIndexKey(int rel, int col) {
+  return static_cast<int64_t>(rel) * 4096 + col;
+}
+
+}  // namespace
+
+int Database::AddRelation(Relation relation) {
+  QBE_CHECK(!built_);
+  QBE_CHECK_MSG(rel_by_name_.find(relation.name()) == rel_by_name_.end(),
+                "duplicate relation name");
+  int id = static_cast<int>(relations_.size());
+  rel_by_name_[relation.name()] = id;
+  relations_.push_back(std::move(relation));
+  return id;
+}
+
+int Database::AddForeignKey(const std::string& from_rel,
+                            const std::string& from_col,
+                            const std::string& to_rel,
+                            const std::string& to_col) {
+  QBE_CHECK(!built_);
+  int fr = RelationIdByName(from_rel);
+  int tr = RelationIdByName(to_rel);
+  QBE_CHECK_MSG(fr >= 0, from_rel.c_str());
+  QBE_CHECK_MSG(tr >= 0, to_rel.c_str());
+  int fc = relations_[fr].ColumnIndexByName(from_col);
+  int tc = relations_[tr].ColumnIndexByName(to_col);
+  QBE_CHECK_MSG(fc >= 0, from_col.c_str());
+  QBE_CHECK_MSG(tc >= 0, to_col.c_str());
+  QBE_CHECK(relations_[fr].columns()[fc].type == ColumnType::kId);
+  QBE_CHECK(relations_[tr].columns()[tc].type == ColumnType::kId);
+  int id = static_cast<int>(fks_.size());
+  fks_.push_back(ForeignKey{id, fr, fc, tr, tc, from_col});
+  return id;
+}
+
+int Database::RelationIdByName(const std::string& name) const {
+  auto it = rel_by_name_.find(name);
+  return it == rel_by_name_.end() ? -1 : it->second;
+}
+
+int Database::TotalColumns() const {
+  int n = 0;
+  for (const Relation& r : relations_) n += r.num_columns();
+  return n;
+}
+
+void Database::BuildIndexes() {
+  QBE_CHECK(!built_);
+  built_ = true;
+
+  // Text column gids + FTS + master column index.
+  text_gid_.resize(relations_.size());
+  for (int rel = 0; rel < num_relations(); ++rel) {
+    const Relation& r = relations_[rel];
+    text_gid_[rel].assign(r.num_columns(), -1);
+    for (int col = 0; col < r.num_columns(); ++col) {
+      if (r.columns()[col].type != ColumnType::kText) continue;
+      int gid = static_cast<int>(text_cols_.size());
+      text_gid_[rel][col] = gid;
+      text_cols_.push_back(ColumnRef{rel, col});
+    }
+  }
+  fts_.resize(text_cols_.size());
+  for (int gid = 0; gid < static_cast<int>(text_cols_.size()); ++gid) {
+    const ColumnRef& ref = text_cols_[gid];
+    const std::vector<std::string>& cells =
+        relations_[ref.rel].TextColumn(ref.col);
+    fts_[gid].Build(cells);
+    ci_.RegisterColumn(gid, &fts_[gid], cells);
+  }
+
+  // PK hash indexes on every column referenced by a foreign key.
+  for (const ForeignKey& fk : fks_) {
+    int64_t key = PkIndexKey(fk.to_rel, fk.to_col);
+    if (pk_indexes_.find(key) != pk_indexes_.end()) continue;
+    PkIndex index;
+    const std::vector<int64_t>& values =
+        relations_[fk.to_rel].IdColumn(fk.to_col);
+    for (uint32_t row = 0; row < values.size(); ++row) {
+      auto [it, inserted] = index.row_by_key.emplace(values[row], row);
+      QBE_CHECK_MSG(inserted, "duplicate primary key value");
+    }
+    pk_indexes_.emplace(key, std::move(index));
+  }
+
+  // FK hash indexes and per-edge join statistics.
+  fk_indexes_.resize(fks_.size());
+  referenced_rows_.resize(fks_.size());
+  edge_no_dangling_.assign(fks_.size(), 1);
+  valid_from_rows_.resize(fks_.size());
+  for (const ForeignKey& fk : fks_) {
+    const std::vector<int64_t>& values =
+        relations_[fk.from_rel].IdColumn(fk.from_col);
+    const PkIndex& pk = pk_indexes_.at(PkIndexKey(fk.to_rel, fk.to_col));
+    FkIndex& index = fk_indexes_[fk.id];
+    std::vector<uint32_t>& referenced = referenced_rows_[fk.id];
+    std::vector<uint32_t>& valid_from = valid_from_rows_[fk.id];
+    for (uint32_t row = 0; row < values.size(); ++row) {
+      index.rows_by_key[values[row]].push_back(row);
+      auto it = pk.row_by_key.find(values[row]);
+      if (it == pk.row_by_key.end()) {
+        edge_no_dangling_[fk.id] = 0;
+      } else {
+        valid_from.push_back(row);
+        referenced.push_back(it->second);
+      }
+    }
+    std::sort(referenced.begin(), referenced.end());
+    referenced.erase(std::unique(referenced.begin(), referenced.end()),
+                     referenced.end());
+  }
+}
+
+int Database::TextColumnGid(const ColumnRef& ref) const {
+  QBE_DCHECK(built_);
+  if (ref.rel < 0 || ref.rel >= num_relations()) return -1;
+  const std::vector<int>& gids = text_gid_[ref.rel];
+  if (ref.col < 0 || ref.col >= static_cast<int>(gids.size())) return -1;
+  return gids[ref.col];
+}
+
+const InvertedIndex& Database::TextIndex(const ColumnRef& ref) const {
+  int gid = TextColumnGid(ref);
+  QBE_CHECK_MSG(gid >= 0, "not a text column");
+  return fts_[gid];
+}
+
+std::string Database::QualifiedColumnName(const ColumnRef& ref) const {
+  return relations_[ref.rel].name() + "." +
+         relations_[ref.rel].columns()[ref.col].name;
+}
+
+int64_t Database::PkLookup(int rel, int col, int64_t key) const {
+  auto it = pk_indexes_.find(PkIndexKey(rel, col));
+  QBE_CHECK_MSG(it != pk_indexes_.end(), "no pk index on column");
+  auto row = it->second.row_by_key.find(key);
+  if (row == it->second.row_by_key.end()) return -1;
+  return static_cast<int64_t>(row->second);
+}
+
+const std::vector<uint32_t>* Database::FkLookup(int edge, int64_t key) const {
+  const FkIndex& index = fk_indexes_[edge];
+  auto it = index.rows_by_key.find(key);
+  return it == index.rows_by_key.end() ? nullptr : &it->second;
+}
+
+const std::vector<uint32_t>& Database::ReferencedRows(int edge) const {
+  return referenced_rows_[edge];
+}
+
+const std::vector<uint32_t>& Database::ValidFromRows(int edge) const {
+  return valid_from_rows_[edge];
+}
+
+size_t Database::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const Relation& r : relations_) bytes += r.MemoryBytes();
+  for (const InvertedIndex& index : fts_) bytes += index.MemoryBytes();
+  bytes += ci_.MemoryBytes();
+  return bytes;
+}
+
+}  // namespace qbe

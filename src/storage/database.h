@@ -1,0 +1,150 @@
+#ifndef QBE_STORAGE_DATABASE_H_
+#define QBE_STORAGE_DATABASE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/relation.h"
+#include "text/column_index.h"
+#include "text/inverted_index.h"
+
+namespace qbe {
+
+/// A labeled foreign-key reference: `from_rel.from_col` references the
+/// primary key `to_rel.to_col`. These are the directed edges of the schema
+/// graph (§2.1); multiple edges between the same pair of relations are
+/// allowed and distinguished by `label`.
+struct ForeignKey {
+  int id;
+  int from_rel;
+  int from_col;
+  int to_rel;
+  int to_col;
+  std::string label;
+};
+
+/// Reference to one column of one relation.
+struct ColumnRef {
+  int rel = -1;
+  int col = -1;
+
+  friend bool operator==(const ColumnRef& a, const ColumnRef& b) {
+    return a.rel == b.rel && a.col == b.col;
+  }
+  friend bool operator<(const ColumnRef& a, const ColumnRef& b) {
+    return a.rel != b.rel ? a.rel < b.rel : a.col < b.col;
+  }
+  bool valid() const { return rel >= 0; }
+};
+
+/// The in-memory database: relation catalog, foreign keys, and the offline
+/// pre-processing artifacts of §3.1 — per-text-column FTS indexes, PK/FK
+/// hash indexes for efficient join execution, and the master column index
+/// (CI) for candidate generation. Build the content first (AddRelation /
+/// AppendRow / AddForeignKey), then call BuildIndexes() exactly once.
+class Database {
+ public:
+  Database() = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+
+  /// Registers a relation and returns its id.
+  int AddRelation(Relation relation);
+
+  /// Declares a foreign key; columns are given by name. Returns the edge id.
+  int AddForeignKey(const std::string& from_rel, const std::string& from_col,
+                    const std::string& to_rel, const std::string& to_col);
+
+  /// Offline pre-processing (§3.1): PK/FK hash indexes, per-edge join
+  /// statistics, FTS indexes on all text columns, and the master column
+  /// index CI.
+  void BuildIndexes();
+
+  // --- catalog ------------------------------------------------------------
+
+  int num_relations() const { return static_cast<int>(relations_.size()); }
+  const Relation& relation(int rel) const { return relations_[rel]; }
+  Relation& mutable_relation(int rel) { return relations_[rel]; }
+  int RelationIdByName(const std::string& name) const;
+
+  const std::vector<ForeignKey>& foreign_keys() const { return fks_; }
+  const ForeignKey& foreign_key(int edge) const { return fks_[edge]; }
+
+  /// Total column count and text column count across all relations
+  /// (the "Columns" / "Text Columns" statistics of Table 2).
+  int TotalColumns() const;
+  int TotalTextColumns() const { return static_cast<int>(text_cols_.size()); }
+
+  // --- text columns and indexes -------------------------------------------
+
+  /// Dense global id of a text column, or -1 if `ref` is not a text column.
+  int TextColumnGid(const ColumnRef& ref) const;
+  /// Inverse of TextColumnGid.
+  const ColumnRef& TextColumnByGid(int gid) const { return text_cols_[gid]; }
+
+  const InvertedIndex& TextIndex(const ColumnRef& ref) const;
+  const ColumnIndex& column_index() const { return ci_; }
+
+  /// Human-readable "Relation.Column" name.
+  std::string QualifiedColumnName(const ColumnRef& ref) const;
+
+  // --- join-support indexes (valid after BuildIndexes) ---------------------
+
+  /// Row of `rel` whose column `col` equals `key`, or -1. Requires the
+  /// column to be a declared PK target of some foreign key (unique values).
+  int64_t PkLookup(int rel, int col, int64_t key) const;
+
+  /// Rows of `foreign_key(edge).from_rel` whose FK value equals `key`.
+  const std::vector<uint32_t>* FkLookup(int edge, int64_t key) const;
+
+  /// Rows of `to_rel` referenced by at least one `from_rel` row via `edge`
+  /// (sorted distinct). Backs semijoins against an unfiltered child.
+  const std::vector<uint32_t>& ReferencedRows(int edge) const;
+
+  /// True iff every `from_rel` row's FK value has a matching PK row
+  /// (referential integrity holds for this edge).
+  bool EdgeHasNoDangling(int edge) const { return edge_no_dangling_[edge]; }
+
+  /// Rows of `from_rel` whose FK value has a matching PK row.
+  const std::vector<uint32_t>& ValidFromRows(int edge) const;
+
+  /// Number of distinct FK values in `edge`'s referencing column — the
+  /// denominator of the classic fanout estimate rows(from)/distinct(fk).
+  size_t FkDistinctValues(int edge) const {
+    return fk_indexes_[edge].rows_by_key.size();
+  }
+
+  size_t MemoryBytes() const;
+
+ private:
+  struct PkIndex {
+    std::unordered_map<int64_t, uint32_t> row_by_key;
+  };
+  struct FkIndex {
+    std::unordered_map<int64_t, std::vector<uint32_t>> rows_by_key;
+  };
+
+  bool built_ = false;
+  std::vector<Relation> relations_;
+  std::unordered_map<std::string, int> rel_by_name_;
+  std::vector<ForeignKey> fks_;
+
+  std::vector<ColumnRef> text_cols_;                    // gid -> column
+  std::vector<std::vector<int>> text_gid_;              // [rel][col] -> gid
+  std::vector<InvertedIndex> fts_;                      // by gid
+  ColumnIndex ci_;
+
+  std::unordered_map<int64_t, PkIndex> pk_indexes_;     // key: rel*4096+col
+  std::vector<FkIndex> fk_indexes_;                     // by edge id
+  std::vector<std::vector<uint32_t>> referenced_rows_;  // by edge id
+  std::vector<char> edge_no_dangling_;                  // by edge id
+  std::vector<std::vector<uint32_t>> valid_from_rows_;  // by edge id
+};
+
+}  // namespace qbe
+
+#endif  // QBE_STORAGE_DATABASE_H_

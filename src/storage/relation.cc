@@ -1,0 +1,49 @@
+#include "storage/relation.h"
+
+namespace qbe {
+
+Relation::Relation(std::string name, std::vector<ColumnDef> columns)
+    : name_(std::move(name)), defs_(std::move(columns)) {
+  slot_.reserve(defs_.size());
+  for (const ColumnDef& def : defs_) {
+    if (def.type == ColumnType::kId) {
+      slot_.push_back(static_cast<int>(id_store_.size()));
+      id_store_.emplace_back();
+    } else {
+      slot_.push_back(static_cast<int>(text_store_.size()));
+      text_store_.emplace_back();
+    }
+  }
+}
+
+void Relation::AppendRow(const std::vector<Value>& values) {
+  QBE_CHECK(values.size() == defs_.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (defs_[i].type == ColumnType::kId) {
+      QBE_CHECK_MSG(std::holds_alternative<int64_t>(values[i]),
+                    defs_[i].name.c_str());
+      id_store_[slot_[i]].push_back(std::get<int64_t>(values[i]));
+    } else {
+      QBE_CHECK_MSG(std::holds_alternative<std::string>(values[i]),
+                    defs_[i].name.c_str());
+      text_store_[slot_[i]].push_back(std::get<std::string>(values[i]));
+    }
+  }
+  ++num_rows_;
+}
+
+int Relation::ColumnIndexByName(const std::string& name) const {
+  for (size_t i = 0; i < defs_.size(); ++i)
+    if (defs_[i].name == name) return static_cast<int>(i);
+  return -1;
+}
+
+size_t Relation::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& col : id_store_) bytes += col.size() * sizeof(int64_t);
+  for (const auto& col : text_store_)
+    for (const std::string& s : col) bytes += s.size() + sizeof(std::string);
+  return bytes;
+}
+
+}  // namespace qbe

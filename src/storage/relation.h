@@ -1,0 +1,79 @@
+#ifndef QBE_STORAGE_RELATION_H_
+#define QBE_STORAGE_RELATION_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/check.h"
+
+namespace qbe {
+
+/// Column type. Id columns hold 64-bit surrogate keys (primary keys and
+/// foreign keys); text columns hold free text and are the only columns
+/// keyword search — and therefore projection — is allowed on (§2.1).
+enum class ColumnType { kId, kText };
+
+struct ColumnDef {
+  std::string name;
+  ColumnType type;
+};
+
+/// Cell value for row construction.
+using Value = std::variant<int64_t, std::string>;
+
+/// Column-oriented in-memory relation. Values are stored per column so the
+/// verification executor and the index builders touch only the columns they
+/// need.
+class Relation {
+ public:
+  Relation(std::string name, std::vector<ColumnDef> columns);
+
+  /// Appends one row; `values` must match the column count and types.
+  void AppendRow(const std::vector<Value>& values);
+
+  int64_t IdAt(int col, uint32_t row) const {
+    QBE_DCHECK(defs_[col].type == ColumnType::kId);
+    return id_store_[slot_[col]][row];
+  }
+
+  const std::string& TextAt(int col, uint32_t row) const {
+    QBE_DCHECK(defs_[col].type == ColumnType::kText);
+    return text_store_[slot_[col]][row];
+  }
+
+  /// Whole id column (for index construction).
+  const std::vector<int64_t>& IdColumn(int col) const {
+    QBE_DCHECK(defs_[col].type == ColumnType::kId);
+    return id_store_[slot_[col]];
+  }
+
+  /// Whole text column (for index construction).
+  const std::vector<std::string>& TextColumn(int col) const {
+    QBE_DCHECK(defs_[col].type == ColumnType::kText);
+    return text_store_[slot_[col]];
+  }
+
+  const std::string& name() const { return name_; }
+  const std::vector<ColumnDef>& columns() const { return defs_; }
+  int num_columns() const { return static_cast<int>(defs_.size()); }
+  uint32_t num_rows() const { return num_rows_; }
+
+  /// Index of the column named `name`, or -1.
+  int ColumnIndexByName(const std::string& name) const;
+
+  size_t MemoryBytes() const;
+
+ private:
+  std::string name_;
+  std::vector<ColumnDef> defs_;
+  std::vector<int> slot_;  // defs_[i] lives at {id,text}_store_[slot_[i]]
+  std::vector<std::vector<int64_t>> id_store_;
+  std::vector<std::vector<std::string>> text_store_;
+  uint32_t num_rows_ = 0;
+};
+
+}  // namespace qbe
+
+#endif  // QBE_STORAGE_RELATION_H_

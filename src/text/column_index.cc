@@ -1,0 +1,64 @@
+#include "text/column_index.h"
+
+#include <algorithm>
+
+#include "text/tokenizer.h"
+#include "util/check.h"
+
+namespace qbe {
+
+void ColumnIndex::RegisterColumn(int column_gid, const InvertedIndex* index,
+                                 const std::vector<std::string>& cells) {
+  QBE_CHECK(column_gid == static_cast<int>(columns_.size()));
+  columns_.push_back(index);
+  // Record the distinct tokens of this column in the directory.
+  std::vector<std::string> seen;
+  for (const std::string& cell : cells) {
+    for (std::string& tok : Tokenize(cell)) {
+      seen.push_back(std::move(tok));
+    }
+  }
+  std::sort(seen.begin(), seen.end());
+  seen.erase(std::unique(seen.begin(), seen.end()), seen.end());
+  for (const std::string& tok : seen) token_columns_[tok].push_back(column_gid);
+}
+
+std::vector<int> ColumnIndex::ColumnsContaining(
+    const std::vector<std::string>& phrase) const {
+  std::vector<int> result;
+  if (phrase.empty()) {
+    for (int c = 0; c < num_columns(); ++c)
+      if (columns_[c]->num_rows() > 0) result.push_back(c);
+    return result;
+  }
+  // Intersect the token directories to find columns containing every token,
+  // then verify the consecutive-position requirement per column.
+  std::vector<int> cand;
+  for (size_t k = 0; k < phrase.size(); ++k) {
+    auto it = token_columns_.find(phrase[k]);
+    if (it == token_columns_.end()) return result;
+    if (k == 0) {
+      cand = it->second;
+    } else {
+      std::vector<int> merged;
+      std::set_intersection(cand.begin(), cand.end(), it->second.begin(),
+                            it->second.end(), std::back_inserter(merged));
+      cand = std::move(merged);
+    }
+    if (cand.empty()) return result;
+  }
+  for (int c : cand) {
+    if (phrase.size() == 1 || columns_[c]->AnyMatch(phrase)) result.push_back(c);
+  }
+  return result;
+}
+
+size_t ColumnIndex::MemoryBytes() const {
+  size_t bytes = columns_.size() * sizeof(void*);
+  for (const auto& [token, cols] : token_columns_) {
+    bytes += token.size() + cols.size() * sizeof(int) + 64;
+  }
+  return bytes;
+}
+
+}  // namespace qbe

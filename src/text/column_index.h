@@ -1,0 +1,48 @@
+#ifndef QBE_TEXT_COLUMN_INDEX_H_
+#define QBE_TEXT_COLUMN_INDEX_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "text/inverted_index.h"
+
+namespace qbe {
+
+/// Master inverted index over all text columns in the database — the
+/// "column index" CI of §3.1. Given a phrase W, CI(W) reports the distinct
+/// text columns containing W; candidate projection-column retrieval (Eq. 3)
+/// intersects these sets across the non-empty cells of each ET column.
+///
+/// Columns are identified by dense global ids assigned by the catalog. A
+/// token→column-set directory makes the common case (rare token) touch only
+/// the columns that can possibly match; phrase verification then runs on the
+/// per-column positional indexes.
+class ColumnIndex {
+ public:
+  ColumnIndex() = default;
+
+  /// Registers the column with global id `column_gid`. Ids must be dense
+  /// starting at 0 in registration order. The index pointer must outlive
+  /// this object (it is owned by the Database).
+  void RegisterColumn(int column_gid, const InvertedIndex* index,
+                      const std::vector<std::string>& cells);
+
+  /// Global ids of the distinct columns containing `phrase` (tokenized),
+  /// ascending. An empty phrase matches every column with at least one row.
+  std::vector<int> ColumnsContaining(
+      const std::vector<std::string>& phrase) const;
+
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+
+  size_t MemoryBytes() const;
+
+ private:
+  std::vector<const InvertedIndex*> columns_;
+  // token -> sorted list of column gids whose cells contain the token.
+  std::unordered_map<std::string, std::vector<int>> token_columns_;
+};
+
+}  // namespace qbe
+
+#endif  // QBE_TEXT_COLUMN_INDEX_H_

@@ -1,0 +1,108 @@
+#include "text/inverted_index.h"
+
+#include <algorithm>
+
+#include "text/tokenizer.h"
+
+namespace qbe {
+
+void InvertedIndex::Build(const std::vector<std::string>& cells) {
+  postings_.clear();
+  num_rows_ = cells.size();
+  for (uint32_t row = 0; row < cells.size(); ++row) {
+    std::vector<std::string> tokens = Tokenize(cells[row]);
+    for (uint32_t pos = 0; pos < tokens.size(); ++pos) {
+      postings_[tokens[pos]].push_back(Posting{row, pos});
+    }
+  }
+  // Postings are appended in (row, position) order by construction, so each
+  // list is already sorted; no extra pass needed.
+}
+
+const std::vector<InvertedIndex::Posting>* InvertedIndex::Lookup(
+    std::string_view token) const {
+  auto it = postings_.find(std::string(token));
+  if (it == postings_.end()) return nullptr;
+  return &it->second;
+}
+
+std::vector<uint32_t> InvertedIndex::MatchPhrase(
+    const std::vector<std::string>& phrase) const {
+  std::vector<uint32_t> rows;
+  if (phrase.empty()) {
+    rows.resize(num_rows_);
+    for (uint32_t r = 0; r < num_rows_; ++r) rows[r] = r;
+    return rows;
+  }
+  const std::vector<Posting>* first = Lookup(phrase[0]);
+  if (first == nullptr) return rows;
+  // Resolve each occurrence of the first token by probing the remaining
+  // tokens' postings for the expected (row, position + k) slots.
+  std::vector<const std::vector<Posting>*> rest(phrase.size(), nullptr);
+  for (size_t k = 1; k < phrase.size(); ++k) {
+    rest[k] = Lookup(phrase[k]);
+    if (rest[k] == nullptr) return rows;
+  }
+  for (const Posting& p : *first) {
+    if (!rows.empty() && rows.back() == p.row) continue;  // row already in
+    bool ok = true;
+    for (size_t k = 1; k < phrase.size() && ok; ++k) {
+      const Posting want{p.row, p.position + static_cast<uint32_t>(k)};
+      const std::vector<Posting>& list = *rest[k];
+      auto it = std::lower_bound(list.begin(), list.end(), want,
+                                 [](const Posting& a, const Posting& b) {
+                                   return a.row != b.row
+                                              ? a.row < b.row
+                                              : a.position < b.position;
+                                 });
+      ok = it != list.end() && it->row == want.row &&
+           it->position == want.position;
+    }
+    if (ok) rows.push_back(p.row);
+  }
+  return rows;
+}
+
+std::vector<uint32_t> InvertedIndex::MatchAllPhrases(
+    const std::vector<std::vector<std::string>>& phrases) const {
+  if (phrases.empty()) return MatchPhrase({});
+  std::vector<uint32_t> acc = MatchPhrase(phrases[0]);
+  for (size_t i = 1; i < phrases.size() && !acc.empty(); ++i) {
+    std::vector<uint32_t> next = MatchPhrase(phrases[i]);
+    std::vector<uint32_t> merged;
+    std::set_intersection(acc.begin(), acc.end(), next.begin(), next.end(),
+                          std::back_inserter(merged));
+    acc = std::move(merged);
+  }
+  return acc;
+}
+
+bool InvertedIndex::AnyMatch(const std::vector<std::string>& phrase) const {
+  if (phrase.empty()) return num_rows_ > 0;
+  return !MatchPhrase(phrase).empty();
+}
+
+size_t InvertedIndex::TokenRowCount(std::string_view token) const {
+  const std::vector<Posting>* list = Lookup(token);
+  if (list == nullptr) return 0;
+  // Postings are row-sorted; count distinct rows.
+  size_t n = 0;
+  uint32_t prev = UINT32_MAX;
+  for (const Posting& p : *list) {
+    if (p.row != prev) {
+      ++n;
+      prev = p.row;
+    }
+  }
+  return n;
+}
+
+size_t InvertedIndex::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& [token, list] : postings_) {
+    bytes += token.size() + list.size() * sizeof(Posting) + 64;
+  }
+  return bytes;
+}
+
+}  // namespace qbe

@@ -1,0 +1,60 @@
+#ifndef QBE_TEXT_INVERTED_INDEX_H_
+#define QBE_TEXT_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace qbe {
+
+/// Positional full-text index over the cells of one text column — the
+/// equivalent of the per-column FTS index the paper builds in SQL Server
+/// (§3.1). Postings record (row, token position) so phrase queries
+/// ("tokens appear consecutively", Definition 2) are answered exactly.
+class InvertedIndex {
+ public:
+  struct Posting {
+    uint32_t row;
+    uint32_t position;
+  };
+
+  InvertedIndex() = default;
+
+  /// Builds the index over `cells`; cell i belongs to row i.
+  void Build(const std::vector<std::string>& cells);
+
+  /// Rows whose cell contains the phrase (already-tokenized), sorted
+  /// ascending, deduplicated. An empty phrase matches every indexed row.
+  std::vector<uint32_t> MatchPhrase(
+      const std::vector<std::string>& phrase) const;
+
+  /// Rows whose cell contains *every* phrase in `phrases` (conjunction of
+  /// CONTAINS predicates on the same column).
+  std::vector<uint32_t> MatchAllPhrases(
+      const std::vector<std::vector<std::string>>& phrases) const;
+
+  /// True iff at least one row matches the phrase; cheaper than MatchPhrase
+  /// when only existence is needed.
+  bool AnyMatch(const std::vector<std::string>& phrase) const;
+
+  /// Number of rows containing `token` (0 if absent). Used as a selectivity
+  /// hint by the executor.
+  size_t TokenRowCount(std::string_view token) const;
+
+  size_t num_rows() const { return num_rows_; }
+
+  /// Approximate heap footprint, for the harness's memory accounting.
+  size_t MemoryBytes() const;
+
+ private:
+  const std::vector<Posting>* Lookup(std::string_view token) const;
+
+  std::unordered_map<std::string, std::vector<Posting>> postings_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace qbe
+
+#endif  // QBE_TEXT_INVERTED_INDEX_H_

@@ -1,0 +1,44 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+namespace qbe {
+
+std::vector<std::string> Tokenize(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      current +=
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+bool IsTokenSubsequence(const std::vector<std::string>& needle,
+                        const std::vector<std::string>& haystack) {
+  if (needle.empty()) return true;
+  if (needle.size() > haystack.size()) return false;
+  for (size_t start = 0; start + needle.size() <= haystack.size(); ++start) {
+    bool match = true;
+    for (size_t i = 0; i < needle.size(); ++i) {
+      if (haystack[start + i] != needle[i]) {
+        match = false;
+        break;
+      }
+    }
+    if (match) return true;
+  }
+  return false;
+}
+
+bool ContainsPhrase(std::string_view haystack, std::string_view needle) {
+  return IsTokenSubsequence(Tokenize(needle), Tokenize(haystack));
+}
+
+}  // namespace qbe

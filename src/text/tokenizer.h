@@ -1,0 +1,28 @@
+#ifndef QBE_TEXT_TOKENIZER_H_
+#define QBE_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qbe {
+
+/// Splits `text` into lowercase alphanumeric tokens. This defines the token
+/// model for the whole library: the paper's string containment "x ⊆ y" holds
+/// iff Tokenize(x) occurs as a consecutive subsequence of Tokenize(y)
+/// (Definition 2 Remarks).
+std::vector<std::string> Tokenize(std::string_view text);
+
+/// True iff `needle` occurs consecutively within `haystack`. An empty needle
+/// is contained in everything.
+bool IsTokenSubsequence(const std::vector<std::string>& needle,
+                        const std::vector<std::string>& haystack);
+
+/// Phrase containment on raw strings: tokenizes both sides and applies
+/// IsTokenSubsequence. This is the reference (index-free) implementation of
+/// the paper's containment predicate, used by tests to validate the indexes.
+bool ContainsPhrase(std::string_view haystack, std::string_view needle);
+
+}  // namespace qbe
+
+#endif  // QBE_TEXT_TOKENIZER_H_

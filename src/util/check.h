@@ -1,0 +1,37 @@
+#ifndef QBE_UTIL_CHECK_H_
+#define QBE_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Invariant checking for a library built without exceptions: a failed check
+// prints the condition with its location and aborts. QBE_CHECK is always on;
+// QBE_DCHECK compiles away in NDEBUG builds and is meant for hot paths.
+
+#define QBE_CHECK(cond)                                                      \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "QBE_CHECK failed: %s at %s:%d\n", #cond,         \
+                   __FILE__, __LINE__);                                      \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define QBE_CHECK_MSG(cond, msg)                                             \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "QBE_CHECK failed: %s (%s) at %s:%d\n", #cond,    \
+                   (msg), __FILE__, __LINE__);                               \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#ifdef NDEBUG
+#define QBE_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define QBE_DCHECK(cond) QBE_CHECK(cond)
+#endif
+
+#endif  // QBE_UTIL_CHECK_H_

@@ -1,0 +1,60 @@
+#ifndef QBE_UTIL_RNG_H_
+#define QBE_UTIL_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace qbe {
+
+/// Deterministic 64-bit pseudo-random generator (xoshiro256** seeded via
+/// SplitMix64). All stochastic components of the library take an explicit
+/// seed so that datasets, example tables and experiments are reproducible
+/// bit-for-bit across runs and platforms.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be positive.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli draw with success probability `p`.
+  bool NextBool(double p);
+
+  /// Fisher-Yates shuffle of `items`.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextBounded(i));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Uniformly picks one element of a non-empty vector.
+  template <typename T>
+  const T& Pick(const std::vector<T>& items) {
+    QBE_CHECK(!items.empty());
+    return items[NextBounded(items.size())];
+  }
+
+  /// Derives an independent child generator; used to decouple the random
+  /// streams of nested components (e.g., per-relation data generators).
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace qbe
+
+#endif  // QBE_UTIL_RNG_H_

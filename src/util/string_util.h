@@ -1,0 +1,25 @@
+#ifndef QBE_UTIL_STRING_UTIL_H_
+#define QBE_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qbe {
+
+/// ASCII lowercase copy (the library's text matching is case-insensitive).
+std::string AsciiLower(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+/// Splits on a single separator character; empty pieces are kept.
+std::vector<std::string> SplitString(std::string_view s, char sep);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+}  // namespace qbe
+
+#endif  // QBE_UTIL_STRING_UTIL_H_

@@ -1,0 +1,31 @@
+#ifndef QBE_UTIL_ZIPF_H_
+#define QBE_UTIL_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace qbe {
+
+/// Zipf-distributed sampler over ranks [0, n). Natural-language token
+/// frequencies are famously Zipfian; the synthetic text generators use this
+/// so that phrase selectivities in the generated datasets resemble the
+/// paper's real-life corpora (a few very common tokens, a long rare tail).
+class ZipfSampler {
+ public:
+  /// `n` ranks with exponent `theta` (theta = 0 degenerates to uniform).
+  ZipfSampler(size_t n, double theta);
+
+  /// Draws a rank in [0, n); rank 0 is the most frequent.
+  size_t Sample(Rng& rng) const;
+
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace qbe
+
+#endif  // QBE_UTIL_ZIPF_H_

@@ -1,0 +1,110 @@
+#include "storage/catalog_io.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/discovery.h"
+#include "datagen/retailer.h"
+
+namespace qbe {
+namespace {
+
+class CatalogIoTest : public ::testing::Test {
+ protected:
+  std::string TempDir(const std::string& name) {
+    std::string dir = testing::TempDir() + "/catalog_io_" + name;
+    std::filesystem::remove_all(dir);
+    return dir;
+  }
+};
+
+TEST_F(CatalogIoTest, RoundTripPreservesSchemaAndData) {
+  Database original = MakeRetailerDatabase();
+  std::string dir = TempDir("roundtrip");
+  ASSERT_TRUE(SaveDatabase(original, dir));
+  std::optional<Database> loaded = LoadDatabase(dir);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->num_relations(), original.num_relations());
+  EXPECT_EQ(loaded->foreign_keys().size(), original.foreign_keys().size());
+  EXPECT_EQ(loaded->TotalColumns(), original.TotalColumns());
+  EXPECT_EQ(loaded->TotalTextColumns(), original.TotalTextColumns());
+  for (int r = 0; r < original.num_relations(); ++r) {
+    const Relation& a = original.relation(r);
+    int lid = loaded->RelationIdByName(a.name());
+    ASSERT_GE(lid, 0);
+    const Relation& b = loaded->relation(lid);
+    ASSERT_EQ(a.num_rows(), b.num_rows());
+    for (int c = 0; c < a.num_columns(); ++c) {
+      EXPECT_EQ(a.columns()[c].name, b.columns()[c].name);
+      EXPECT_EQ(a.columns()[c].type, b.columns()[c].type);
+    }
+  }
+}
+
+TEST_F(CatalogIoTest, RoundTripDiscoveryEquivalent) {
+  Database original = MakeRetailerDatabase();
+  std::string dir = TempDir("discovery");
+  ASSERT_TRUE(SaveDatabase(original, dir));
+  std::optional<Database> loaded = LoadDatabase(dir);
+  ASSERT_TRUE(loaded.has_value());
+  ExampleTable et = MakeFigure2ExampleTable();
+  DiscoveryResult a = DiscoverQueries(original, et);
+  DiscoveryResult b = DiscoverQueries(*loaded, et);
+  ASSERT_EQ(a.queries.size(), b.queries.size());
+  for (size_t i = 0; i < a.queries.size(); ++i) {
+    EXPECT_EQ(a.queries[i].sql, b.queries[i].sql);
+  }
+}
+
+TEST_F(CatalogIoTest, ManifestOverridesCsvTypeInference) {
+  // A text column whose every value happens to be numeric would be
+  // inferred as id by the CSV loader; the manifest pins it to text.
+  std::string dir = TempDir("retype");
+  std::filesystem::create_directories(dir);
+  std::ofstream(dir + "/codes.csv") << "code_id,label\n1,12345\n2,67890\n";
+  std::ofstream(dir + "/schema.manifest")
+      << "relation codes codes.csv id,text\n";
+  std::optional<Database> db = LoadDatabase(dir);
+  ASSERT_TRUE(db.has_value());
+  const Relation& rel = db->relation(0);
+  EXPECT_EQ(rel.columns()[1].type, ColumnType::kText);
+  EXPECT_EQ(rel.TextAt(1, 0), "12345");
+}
+
+TEST_F(CatalogIoTest, MissingManifestFails) {
+  EXPECT_FALSE(LoadDatabase(TempDir("missing")).has_value());
+}
+
+TEST_F(CatalogIoTest, BadManifestLinesFail) {
+  std::string dir = TempDir("bad");
+  std::filesystem::create_directories(dir);
+  std::ofstream(dir + "/schema.manifest") << "nonsense here\n";
+  EXPECT_FALSE(LoadDatabase(dir).has_value());
+
+  std::ofstream(dir + "/schema.manifest")
+      << "relation ghost ghost.csv id\n";  // file does not exist
+  EXPECT_FALSE(LoadDatabase(dir).has_value());
+}
+
+TEST_F(CatalogIoTest, FkToUnknownRelationFails) {
+  std::string dir = TempDir("badfk");
+  std::filesystem::create_directories(dir);
+  std::ofstream(dir + "/a.csv") << "a_id,t\n1,x\n";
+  std::ofstream(dir + "/schema.manifest")
+      << "relation a a.csv id,text\nfk a.a_id -> missing.b_id\n";
+  EXPECT_FALSE(LoadDatabase(dir).has_value());
+}
+
+TEST_F(CatalogIoTest, CommentsAndBlankLinesIgnored) {
+  std::string dir = TempDir("comments");
+  std::filesystem::create_directories(dir);
+  std::ofstream(dir + "/a.csv") << "a_id,t\n1,hello\n";
+  std::ofstream(dir + "/schema.manifest")
+      << "# a comment\n\nrelation a a.csv id,text\n";
+  ASSERT_TRUE(LoadDatabase(dir).has_value());
+}
+
+}  // namespace
+}  // namespace qbe

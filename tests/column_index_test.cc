@@ -1,0 +1,65 @@
+#include "text/column_index.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/retailer.h"
+#include "storage/database.h"
+#include "text/tokenizer.h"
+
+namespace qbe {
+namespace {
+
+class ColumnIndexTest : public ::testing::Test {
+ protected:
+  ColumnIndexTest() : db_(MakeRetailerDatabase()) {}
+  Database db_;
+};
+
+TEST_F(ColumnIndexTest, PaperExample1CandidateColumns) {
+  // §3.2: candidate projection columns for the Figure 2 ET are
+  // CustName+EmpName (Mike/Mary/Bob), DevName (ThinkPad/iPad), and
+  // AppName+Desc (Office/Dropbox).
+  const ColumnIndex& ci = db_.column_index();
+  auto names = [&](const std::vector<int>& gids) {
+    std::vector<std::string> out;
+    for (int gid : gids)
+      out.push_back(db_.QualifiedColumnName(db_.TextColumnByGid(gid)));
+    return out;
+  };
+  EXPECT_EQ(names(ci.ColumnsContaining({"mike"})),
+            (std::vector<std::string>{"Customer.CustName",
+                                      "Employee.EmpName"}));
+  EXPECT_EQ(names(ci.ColumnsContaining({"thinkpad"})),
+            (std::vector<std::string>{"Device.DevName"}));
+  EXPECT_EQ(names(ci.ColumnsContaining({"office"})),
+            (std::vector<std::string>{"App.AppName", "ESR.Desc"}));
+  EXPECT_EQ(names(ci.ColumnsContaining({"dropbox"})),
+            (std::vector<std::string>{"App.AppName", "ESR.Desc"}));
+}
+
+TEST_F(ColumnIndexTest, UnknownTokenMatchesNothing) {
+  EXPECT_TRUE(db_.column_index().ColumnsContaining({"nonexistent"}).empty());
+}
+
+TEST_F(ColumnIndexTest, MultiTokenPhraseVerifiedPerColumn) {
+  // "office crash" appears only in ESR.Desc, even though both tokens
+  // appear (separately) in other columns too.
+  std::vector<int> cols =
+      db_.column_index().ColumnsContaining({"office", "crash"});
+  ASSERT_EQ(cols.size(), 1u);
+  EXPECT_EQ(db_.QualifiedColumnName(db_.TextColumnByGid(cols[0])),
+            "ESR.Desc");
+}
+
+TEST_F(ColumnIndexTest, EmptyPhraseMatchesAllNonEmptyColumns) {
+  // All 5 text columns of Figure 1 have rows.
+  EXPECT_EQ(db_.column_index().ColumnsContaining({}).size(), 5u);
+}
+
+TEST_F(ColumnIndexTest, ResultsAreSortedAscending) {
+  std::vector<int> cols = db_.column_index().ColumnsContaining({"mike"});
+  for (size_t i = 1; i < cols.size(); ++i) EXPECT_LT(cols[i - 1], cols[i]);
+}
+
+}  // namespace
+}  // namespace qbe

@@ -1,0 +1,82 @@
+#include "storage/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace qbe {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    return testing::TempDir() + "/" + name;
+  }
+
+  void WriteFile(const std::string& path, const std::string& content) {
+    std::ofstream out(path);
+    out << content;
+  }
+};
+
+TEST_F(CsvTest, ParseCsvLineBasic) {
+  EXPECT_EQ(ParseCsvLine("a,b,c"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(ParseCsvLine("a,,c"), (std::vector<std::string>{"a", "", "c"}));
+}
+
+TEST_F(CsvTest, ParseCsvLineQuoting) {
+  EXPECT_EQ(ParseCsvLine("\"a,b\",c"),
+            (std::vector<std::string>{"a,b", "c"}));
+  EXPECT_EQ(ParseCsvLine("\"he said \"\"hi\"\"\",x"),
+            (std::vector<std::string>{"he said \"hi\"", "x"}));
+}
+
+TEST_F(CsvTest, LoadInfersTypes) {
+  std::string path = TempPath("load.csv");
+  WriteFile(path, "id,name,score\n1,Mike Jones,10\n2,Mary Smith,20\n");
+  auto rel = LoadRelationFromCsv("People", path);
+  ASSERT_TRUE(rel.has_value());
+  EXPECT_EQ(rel->name(), "People");
+  EXPECT_EQ(rel->num_rows(), 2u);
+  EXPECT_EQ(rel->columns()[0].type, ColumnType::kId);
+  EXPECT_EQ(rel->columns()[1].type, ColumnType::kText);
+  EXPECT_EQ(rel->columns()[2].type, ColumnType::kId);
+  EXPECT_EQ(rel->IdAt(0, 1), 2);
+  EXPECT_EQ(rel->TextAt(1, 0), "Mike Jones");
+}
+
+TEST_F(CsvTest, LoadRejectsRaggedRows) {
+  std::string path = TempPath("ragged.csv");
+  WriteFile(path, "a,b\n1,2\n3\n");
+  EXPECT_FALSE(LoadRelationFromCsv("R", path).has_value());
+}
+
+TEST_F(CsvTest, LoadRejectsMissingFile) {
+  EXPECT_FALSE(LoadRelationFromCsv("R", TempPath("missing.csv")).has_value());
+}
+
+TEST_F(CsvTest, RoundTrip) {
+  Relation rel("R", {{"id", ColumnType::kId}, {"txt", ColumnType::kText}});
+  rel.AppendRow({int64_t{1}, std::string("plain")});
+  rel.AppendRow({int64_t{2}, std::string("with, comma and \"quote\"")});
+  std::string path = TempPath("round.csv");
+  ASSERT_TRUE(WriteRelationToCsv(rel, path));
+  auto loaded = LoadRelationFromCsv("R", path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->num_rows(), 2u);
+  EXPECT_EQ(loaded->IdAt(0, 0), 1);
+  EXPECT_EQ(loaded->TextAt(1, 1), "with, comma and \"quote\"");
+}
+
+TEST_F(CsvTest, CarriageReturnsStripped) {
+  std::string path = TempPath("crlf.csv");
+  WriteFile(path, "id,name\r\n1,Mike\r\n");
+  auto rel = LoadRelationFromCsv("R", path);
+  ASSERT_TRUE(rel.has_value());
+  EXPECT_EQ(rel->TextAt(1, 0), "Mike");
+}
+
+}  // namespace
+}  // namespace qbe

@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "datagen/cust_like.h"
+#include "datagen/imdb_like.h"
+#include "datagen/retailer.h"
+#include "datagen/text_gen.h"
+#include "util/rng.h"
+
+namespace qbe {
+namespace {
+
+void ExpectReferentialIntegrity(const Database& db) {
+  for (const ForeignKey& fk : db.foreign_keys()) {
+    EXPECT_TRUE(db.EdgeHasNoDangling(fk.id))
+        << db.relation(fk.from_rel).name() << " -> "
+        << db.relation(fk.to_rel).name();
+  }
+}
+
+TEST(RetailerTest, Figure1Content) {
+  Database db = MakeRetailerDatabase();
+  EXPECT_EQ(db.num_relations(), 7);
+  int customer = db.RelationIdByName("Customer");
+  EXPECT_EQ(db.relation(customer).num_rows(), 3u);
+  EXPECT_EQ(db.relation(customer).TextAt(1, 0), "Mike Jones");
+  int esr = db.RelationIdByName("ESR");
+  EXPECT_EQ(db.relation(esr).num_rows(), 2u);
+  EXPECT_EQ(db.relation(esr).TextAt(3, 1), "Dropbox can't sync");
+  ExpectReferentialIntegrity(db);
+}
+
+TEST(RetailerTest, ScaledInstanceShape) {
+  Database db = MakeScaledRetailerDatabase(10, 12, 5, 6, 30, 25, 8, 3);
+  EXPECT_EQ(db.relation(db.RelationIdByName("Customer")).num_rows(), 10u);
+  EXPECT_EQ(db.relation(db.RelationIdByName("Sales")).num_rows(), 30u);
+  ExpectReferentialIntegrity(db);
+}
+
+TEST(ImdbLikeTest, Table2Statistics) {
+  ImdbConfig config;
+  config.scale = 0.05;  // schema statistics are scale-invariant
+  Database db = MakeImdbLikeDatabase(config);
+  EXPECT_EQ(db.num_relations(), kImdbRelations);
+  EXPECT_EQ(static_cast<int>(db.foreign_keys().size()), kImdbEdges);
+  EXPECT_EQ(db.TotalColumns(), kImdbColumns);
+  EXPECT_EQ(db.TotalTextColumns(), kImdbTextColumns);
+}
+
+TEST(ImdbLikeTest, ReferentialIntegrity) {
+  ImdbConfig config;
+  config.scale = 0.05;
+  ExpectReferentialIntegrity(MakeImdbLikeDatabase(config));
+}
+
+TEST(ImdbLikeTest, DeterministicForSeed) {
+  ImdbConfig config;
+  config.scale = 0.02;
+  Database a = MakeImdbLikeDatabase(config);
+  Database b = MakeImdbLikeDatabase(config);
+  int person = a.RelationIdByName("person");
+  ASSERT_EQ(a.relation(person).num_rows(), b.relation(person).num_rows());
+  for (uint32_t r = 0; r < a.relation(person).num_rows(); ++r) {
+    EXPECT_EQ(a.relation(person).TextAt(1, r), b.relation(person).TextAt(1, r));
+  }
+}
+
+TEST(ImdbLikeTest, CrossColumnNameAmbiguity) {
+  // The Example 1 property: person names must also appear in char_name and
+  // aka_name so that candidate projection columns are ambiguous.
+  ImdbConfig config;
+  config.scale = 0.2;
+  Database db = MakeImdbLikeDatabase(config);
+  const ColumnIndex& ci = db.column_index();
+  std::vector<int> cols = ci.ColumnsContaining({"mike"});
+  EXPECT_GE(cols.size(), 3u);
+}
+
+TEST(ImdbLikeTest, ScaleGrowsRowCounts) {
+  ImdbConfig small, large;
+  small.scale = 0.05;
+  large.scale = 0.1;
+  Database a = MakeImdbLikeDatabase(small);
+  Database b = MakeImdbLikeDatabase(large);
+  int title = a.RelationIdByName("title");
+  EXPECT_LT(a.relation(title).num_rows(), b.relation(title).num_rows());
+}
+
+TEST(CustLikeTest, Table2Statistics) {
+  CustConfig config;
+  config.scale = 0.05;
+  Database db = MakeCustLikeDatabase(config);
+  EXPECT_EQ(db.num_relations(), kCustRelations);
+  EXPECT_EQ(static_cast<int>(db.foreign_keys().size()), kCustEdges);
+  EXPECT_EQ(db.TotalColumns(), kCustColumns);
+  EXPECT_EQ(db.TotalTextColumns(), kCustTextColumns);
+}
+
+TEST(CustLikeTest, ReferentialIntegrity) {
+  CustConfig config;
+  config.scale = 0.05;
+  ExpectReferentialIntegrity(MakeCustLikeDatabase(config));
+}
+
+TEST(CustLikeTest, FactsReferenceDims) {
+  CustConfig config;
+  config.scale = 0.05;
+  Database db = MakeCustLikeDatabase(config);
+  for (const ForeignKey& fk : db.foreign_keys()) {
+    EXPECT_EQ(db.relation(fk.from_rel).name().substr(0, 5), "fact_");
+    EXPECT_EQ(db.relation(fk.to_rel).name().substr(0, 4), "dim_");
+  }
+}
+
+TEST(CustLikeTest, DeterministicForSeed) {
+  CustConfig config;
+  config.scale = 0.03;
+  Database a = MakeCustLikeDatabase(config);
+  Database b = MakeCustLikeDatabase(config);
+  EXPECT_EQ(a.relation(0).num_rows(), b.relation(0).num_rows());
+  const Relation& ra = a.relation(0);
+  const Relation& rb = b.relation(0);
+  for (int c = 0; c < ra.num_columns(); ++c) {
+    if (ra.columns()[c].type != ColumnType::kText) continue;
+    for (uint32_t r = 0; r < ra.num_rows(); ++r) {
+      ASSERT_EQ(ra.TextAt(c, r), rb.TextAt(c, r));
+    }
+  }
+}
+
+TEST(CustLikeTest, StatusColumnsUsePerRelationVocabularies) {
+  // Each relation's status column draws from a 4-state workflow subset of
+  // the 16-state vocabulary; without this every status column in the
+  // schema would match every status value and candidate counts explode.
+  CustConfig config;
+  config.scale = 0.2;
+  Database db = MakeCustLikeDatabase(config);
+  int checked = 0;
+  for (int r = 0; r < db.num_relations(); ++r) {
+    const Relation& rel = db.relation(r);
+    int col = rel.ColumnIndexByName("status");
+    if (col < 0 || rel.num_rows() < 50) continue;
+    std::set<std::string> distinct;
+    for (uint32_t row = 0; row < rel.num_rows(); ++row) {
+      distinct.insert(rel.TextAt(col, row));
+    }
+    EXPECT_LE(distinct.size(), 4u) << rel.name();
+    ++checked;
+  }
+  EXPECT_GT(checked, 3);
+}
+
+TEST(CustLikeTest, RepeatDomainColumnsAreLongTail) {
+  // A second person column in the same relation must not mirror the first
+  // one's head-heavy distribution (that multiplicity is what blew up the
+  // candidate counts); compare top-value frequencies.
+  CustConfig config;
+  config.scale = 0.5;
+  Database db = MakeCustLikeDatabase(config);
+  auto top_share = [](const Relation& rel, int col) {
+    std::map<std::string, int> counts;
+    for (uint32_t row = 0; row < rel.num_rows(); ++row) {
+      counts[rel.TextAt(col, row)] += 1;
+    }
+    int top = 0;
+    for (const auto& [value, count] : counts) top = std::max(top, count);
+    return static_cast<double>(top) / rel.num_rows();
+  };
+  int compared = 0;
+  for (int r = 0; r < db.num_relations(); ++r) {
+    const Relation& rel = db.relation(r);
+    int first = rel.ColumnIndexByName("person");
+    int second = rel.ColumnIndexByName("person2");
+    if (first < 0 || second < 0 || rel.num_rows() < 150) continue;
+    EXPECT_LT(top_share(rel, second), 0.05) << rel.name();
+    ++compared;
+  }
+  EXPECT_GT(compared, 0);
+}
+
+TEST(TextGeneratorTest, PersonNamesHaveTwoTokens) {
+  TextGenerator text;
+  Rng rng(4);
+  for (int i = 0; i < 50; ++i) {
+    std::string name = text.PersonName(rng);
+    EXPECT_NE(name.find(' '), std::string::npos);
+  }
+}
+
+TEST(TextGeneratorTest, NotePhraseRespectsLengthBounds) {
+  TextGenerator text;
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    std::string note = text.NotePhrase(rng, 2, 4);
+    int words = 1;
+    for (char ch : note) words += ch == ' ';
+    EXPECT_GE(words, 2);
+    EXPECT_LE(words, 4);
+  }
+}
+
+}  // namespace
+}  // namespace qbe

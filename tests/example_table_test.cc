@@ -1,0 +1,73 @@
+#include "core/example_table.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/retailer.h"
+
+namespace qbe {
+namespace {
+
+TEST(ExampleTableTest, Figure2Shape) {
+  ExampleTable et = MakeFigure2ExampleTable();
+  EXPECT_EQ(et.num_rows(), 3);
+  EXPECT_EQ(et.num_columns(), 3);
+  EXPECT_TRUE(et.IsWellFormed());
+  EXPECT_EQ(et.cell(0, 0).text, "Mike");
+  EXPECT_TRUE(et.cell(1, 2).IsEmpty());
+  EXPECT_TRUE(et.cell(2, 1).IsEmpty());
+}
+
+TEST(ExampleTableTest, TokensCached) {
+  ExampleTable et({"A"});
+  et.AddRow({"ThinkPad X1 Carbon"});
+  EXPECT_EQ(et.CellTokens(0, 0),
+            (std::vector<std::string>{"thinkpad", "x1", "carbon"}));
+}
+
+TEST(ExampleTableTest, NonEmptyCountsAndMasks) {
+  ExampleTable et = MakeFigure2ExampleTable();
+  EXPECT_EQ(et.NonEmptyCellCount(0), 3);
+  EXPECT_EQ(et.NonEmptyCellCount(1), 2);
+  EXPECT_EQ(et.NonEmptyMask(0), 0b111u);
+  EXPECT_EQ(et.NonEmptyMask(1), 0b011u);
+  EXPECT_EQ(et.NonEmptyMask(2), 0b101u);
+}
+
+TEST(ExampleTableTest, Sparsity) {
+  ExampleTable et = MakeFigure2ExampleTable();
+  EXPECT_DOUBLE_EQ(et.Sparsity(), 2.0 / 9.0);
+}
+
+TEST(ExampleTableTest, EmptyRowViolatesWellFormedness) {
+  ExampleTable et({"A", "B"});
+  et.AddRow({"x", ""});
+  et.AddRow({"", ""});
+  EXPECT_FALSE(et.IsWellFormed());
+}
+
+TEST(ExampleTableTest, EmptyColumnViolatesWellFormedness) {
+  ExampleTable et({"A", "B"});
+  et.AddRow({"x", ""});
+  et.AddRow({"y", ""});
+  EXPECT_FALSE(et.IsWellFormed());
+}
+
+TEST(ExampleTableTest, NoRowsIsIllFormed) {
+  ExampleTable et({"A"});
+  EXPECT_FALSE(et.IsWellFormed());
+}
+
+TEST(ExampleTableTest, ExactCellsPreserved) {
+  ExampleTable et({"A"});
+  et.AddRowCells({EtCell{"42", true}});
+  EXPECT_TRUE(et.cell(0, 0).exact);
+}
+
+TEST(ExampleTableTest, WithColumnsUnnamed) {
+  ExampleTable et = ExampleTable::WithColumns(4);
+  EXPECT_EQ(et.num_columns(), 4);
+  EXPECT_EQ(et.column_name(0), "");
+}
+
+}  // namespace
+}  // namespace qbe

@@ -1,0 +1,116 @@
+#include "core/filter_universe.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/candidate_gen.h"
+#include "datagen/retailer.h"
+#include "test_util.h"
+
+namespace qbe {
+namespace {
+
+class FilterUniverseTest : public ::testing::Test {
+ protected:
+  FilterUniverseTest()
+      : db_(MakeRetailerDatabase()),
+        graph_(db_),
+        et_(MakeFigure2ExampleTable()) {
+    candidates_ = GenerateCandidates(db_, graph_, et_, {});
+    universe_ = BuildFilterUniverse(graph_, et_, candidates_);
+  }
+
+  Database db_;
+  SchemaGraph graph_;
+  ExampleTable et_;
+  std::vector<CandidateQuery> candidates_;
+  FilterUniverse universe_;
+};
+
+TEST_F(FilterUniverseTest, EveryCandidateHasOneBasicFilterPerRow) {
+  ASSERT_EQ(universe_.basic_filters_of_query.size(), candidates_.size());
+  for (size_t q = 0; q < candidates_.size(); ++q) {
+    EXPECT_EQ(universe_.basic_filters_of_query[q].size(),
+              static_cast<size_t>(et_.num_rows()));
+    for (int f : universe_.basic_filters_of_query[q]) {
+      EXPECT_TRUE(universe_.filters[f].tree == candidates_[q].tree);
+    }
+  }
+}
+
+TEST_F(FilterUniverseTest, FiltersAreDeduplicated) {
+  std::set<size_t> hashes;
+  for (size_t i = 0; i < universe_.filters.size(); ++i) {
+    for (size_t j = i + 1; j < universe_.filters.size(); ++j) {
+      EXPECT_FALSE(universe_.filters[i] == universe_.filters[j]);
+    }
+  }
+  // Sharing happened: strictly fewer filters than candidate×subtree×row
+  // combinations (all 3 candidates share e.g. the Device singleton filter).
+  size_t upper_bound = 0;
+  for (size_t q = 0; q < candidates_.size(); ++q) {
+    upper_bound += universe_.filters_of_query[q].size();
+  }
+  EXPECT_LT(universe_.filters.size(), upper_bound);
+}
+
+TEST_F(FilterUniverseTest, MembershipIsConsistent) {
+  for (int f = 0; f < universe_.num_filters(); ++f) {
+    for (int q : universe_.queries_of_filter[f]) {
+      const std::vector<int>& fq = universe_.filters_of_query[q];
+      EXPECT_NE(std::find(fq.begin(), fq.end(), f), fq.end());
+    }
+  }
+  for (size_t q = 0; q < candidates_.size(); ++q) {
+    for (int f : universe_.filters_of_query[q]) {
+      const std::vector<int>& qf = universe_.queries_of_filter[f];
+      EXPECT_NE(std::find(qf.begin(), qf.end(), static_cast<int>(q)),
+                qf.end());
+    }
+  }
+}
+
+TEST_F(FilterUniverseTest, FilterTreesAreSubtreesOfTheirCandidates) {
+  for (size_t q = 0; q < candidates_.size(); ++q) {
+    for (int f : universe_.filters_of_query[q]) {
+      EXPECT_TRUE(universe_.filters[f].tree.IsSubtreeOf(candidates_[q].tree));
+    }
+  }
+}
+
+TEST_F(FilterUniverseTest, DependencyListsMatchPairwisePredicate) {
+  // Exhaustive cross-check of supers_of/subs_of against IsSubFilterOf.
+  for (int f1 = 0; f1 < universe_.num_filters(); ++f1) {
+    for (int f2 = 0; f2 < universe_.num_filters(); ++f2) {
+      if (f1 == f2) continue;
+      bool is_sub = IsSubFilterOf(universe_.filters[f1],
+                                  universe_.filters[f2]);
+      const std::vector<int>& supers = universe_.supers_of[f1];
+      const std::vector<int>& subs = universe_.subs_of[f2];
+      bool listed_super =
+          std::find(supers.begin(), supers.end(), f2) != supers.end();
+      bool listed_sub =
+          std::find(subs.begin(), subs.end(), f1) != subs.end();
+      EXPECT_EQ(is_sub, listed_super);
+      EXPECT_EQ(is_sub, listed_sub);
+    }
+  }
+}
+
+TEST_F(FilterUniverseTest, SharedSubtreeFilterServesMultipleCandidates) {
+  // The Example 2 insight: some filter is contained in several candidates.
+  bool found_shared = false;
+  for (int f = 0; f < universe_.num_filters(); ++f) {
+    if (universe_.queries_of_filter[f].size() >= 2) found_shared = true;
+  }
+  EXPECT_TRUE(found_shared);
+}
+
+TEST_F(FilterUniverseTest, EmptyCandidateSet) {
+  FilterUniverse empty = BuildFilterUniverse(graph_, et_, {});
+  EXPECT_EQ(empty.num_filters(), 0);
+}
+
+}  // namespace
+}  // namespace qbe

@@ -1,0 +1,107 @@
+#include "text/inverted_index.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/text_gen.h"
+#include "text/tokenizer.h"
+#include "util/rng.h"
+
+namespace qbe {
+namespace {
+
+InvertedIndex BuildIndex(const std::vector<std::string>& cells) {
+  InvertedIndex index;
+  index.Build(cells);
+  return index;
+}
+
+TEST(InvertedIndexTest, SingleTokenMatch) {
+  InvertedIndex index =
+      BuildIndex({"Mike Jones", "Mary Smith", "Bob Evans", "Mike Stone"});
+  EXPECT_EQ(index.MatchPhrase({"mike"}), (std::vector<uint32_t>{0, 3}));
+  EXPECT_EQ(index.MatchPhrase({"smith"}), (std::vector<uint32_t>{1}));
+  EXPECT_TRUE(index.MatchPhrase({"zelda"}).empty());
+}
+
+TEST(InvertedIndexTest, PhraseRequiresConsecutivePositions) {
+  InvertedIndex index = BuildIndex(
+      {"the silent river", "silent blue river", "river silent"});
+  EXPECT_EQ(index.MatchPhrase({"silent", "river"}),
+            (std::vector<uint32_t>{0}));
+}
+
+TEST(InvertedIndexTest, EmptyPhraseMatchesAllRows) {
+  InvertedIndex index = BuildIndex({"a", "b", "c"});
+  EXPECT_EQ(index.MatchPhrase({}).size(), 3u);
+}
+
+TEST(InvertedIndexTest, RowDeduplicatedOnRepeatedTokens) {
+  InvertedIndex index = BuildIndex({"go go go"});
+  EXPECT_EQ(index.MatchPhrase({"go"}), (std::vector<uint32_t>{0}));
+  EXPECT_EQ(index.MatchPhrase({"go", "go"}), (std::vector<uint32_t>{0}));
+}
+
+TEST(InvertedIndexTest, ConjunctionOfPhrases) {
+  InvertedIndex index = BuildIndex(
+      {"red fox jumps", "red dog sleeps", "blue fox jumps"});
+  EXPECT_EQ(index.MatchAllPhrases({{"red"}, {"fox"}}),
+            (std::vector<uint32_t>{0}));
+  EXPECT_TRUE(index.MatchAllPhrases({{"red"}, {"blue"}}).empty());
+  EXPECT_EQ(index.MatchAllPhrases({}).size(), 3u);
+}
+
+TEST(InvertedIndexTest, AnyMatch) {
+  InvertedIndex index = BuildIndex({"alpha beta", "gamma"});
+  EXPECT_TRUE(index.AnyMatch({"alpha", "beta"}));
+  EXPECT_FALSE(index.AnyMatch({"beta", "alpha"}));
+  EXPECT_TRUE(index.AnyMatch({}));
+}
+
+TEST(InvertedIndexTest, TokenRowCountCountsDistinctRows) {
+  InvertedIndex index = BuildIndex({"a a b", "a c", "d"});
+  EXPECT_EQ(index.TokenRowCount("a"), 2u);
+  EXPECT_EQ(index.TokenRowCount("d"), 1u);
+  EXPECT_EQ(index.TokenRowCount("zzz"), 0u);
+}
+
+TEST(InvertedIndexTest, MemoryBytesPositiveAfterBuild) {
+  InvertedIndex index = BuildIndex({"some text here"});
+  EXPECT_GT(index.MemoryBytes(), 0u);
+}
+
+/// Property: the index agrees with the reference string-containment
+/// implementation on randomized synthetic cells and phrases.
+TEST(InvertedIndexTest, PropertyAgreesWithReferenceContainment) {
+  Rng rng(99);
+  TextGenerator text;
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<std::string> cells;
+    for (int i = 0; i < 60; ++i) cells.push_back(text.NotePhrase(rng, 1, 6));
+    InvertedIndex index = BuildIndex(cells);
+    for (int p = 0; p < 30; ++p) {
+      // Half the probes are substrings of actual cells, half random.
+      std::string probe;
+      if (p % 2 == 0) {
+        const std::string& src = cells[rng.NextBounded(cells.size())];
+        std::vector<std::string> tokens = Tokenize(src);
+        size_t start = rng.NextBounded(tokens.size());
+        size_t len = 1 + rng.NextBounded(tokens.size() - start);
+        for (size_t i = start; i < start + len; ++i) {
+          if (i > start) probe += ' ';
+          probe += tokens[i];
+        }
+      } else {
+        probe = text.NotePhrase(rng, 1, 3);
+      }
+      std::vector<uint32_t> got = index.MatchPhrase(Tokenize(probe));
+      std::vector<uint32_t> want;
+      for (uint32_t row = 0; row < cells.size(); ++row) {
+        if (ContainsPhrase(cells[row], probe)) want.push_back(row);
+      }
+      EXPECT_EQ(got, want) << "probe: " << probe;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qbe

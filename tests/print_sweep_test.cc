@@ -1,0 +1,53 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "harness/experiment.h"
+#include "harness/table_printer.h"
+
+namespace qbe {
+namespace {
+
+TEST(PrintSweepTest, RendersAllPanels) {
+  // Capture stdout around PrintSweep.
+  ExperimentPoint point;
+  point.avg_candidates = 12.5;
+  point.avg_valid = 2.0;
+  AlgoAggregate a;
+  a.name = "VerifyAll";
+  a.avg_verifications = 30;
+  a.avg_millis = 1.5;
+  a.avg_cost = 120;
+  AlgoAggregate b = a;
+  b.name = "Filter";
+  b.avg_verifications = 10;
+  point.algos = {a, b};
+
+  testing::internal::CaptureStdout();
+  PrintSweep("Test sweep", "m", {"3"}, {point});
+  std::string out = testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("Test sweep"), std::string::npos);
+  EXPECT_NE(out.find("(a) #verifications"), std::string::npos);
+  EXPECT_NE(out.find("(b) execution time (ms)"), std::string::npos);
+  EXPECT_NE(out.find("(c) total estimated cost"), std::string::npos);
+  EXPECT_NE(out.find("VerifyAll"), std::string::npos);
+  EXPECT_NE(out.find("Filter"), std::string::npos);
+  EXPECT_NE(out.find("12.5"), std::string::npos);  // candidates column
+}
+
+TEST(PrintSweepTest, MultiplePointsOneRowEach) {
+  ExperimentPoint p1, p2;
+  AlgoAggregate a;
+  a.name = "X";
+  p1.algos = {a};
+  p2.algos = {a};
+  testing::internal::CaptureStdout();
+  PrintSweep("t", "s", {"0.2", "0.5"}, {p1, p2});
+  std::string out = testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("| 0.2"), std::string::npos);
+  EXPECT_NE(out.find("| 0.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qbe

@@ -1,0 +1,181 @@
+// Property-based suites for the paper's central invariants:
+//
+//  1. Every verification algorithm — VERIFYALL, SIMPLEPRUNE, FILTER (exact
+//     and lazy), WEAVE (join-tree and tuple-tree) — computes the same valid
+//     set on the same input (§2.3: "All techniques considered in this paper
+//     produce the same output; they differ only in efficiency").
+//  2. The dependency lemmas hold semantically: whenever the structural
+//     side-conditions of Lemmas 1, 3 and 4 hold, the implied evaluation
+//     outcome matches what the executor reports.
+//  3. Corollary 1: every valid query is a candidate (validity implies the
+//     per-column constraints used for candidate generation).
+
+#include <gtest/gtest.h>
+
+#include "core/candidate_gen.h"
+#include "core/filter_universe.h"
+#include "core/filter_verifier.h"
+#include "core/simple_prune.h"
+#include "core/verify_all.h"
+#include "core/weave.h"
+#include "datagen/et_gen.h"
+#include "datagen/retailer.h"
+#include "exec/executor.h"
+#include "util/rng.h"
+
+namespace qbe {
+namespace {
+
+struct Workbench {
+  explicit Workbench(uint64_t seed)
+      : db(MakeScaledRetailerDatabase(40, 40, 15, 15, 150, 150, 60, seed)),
+        graph(db),
+        exec(db, graph) {}
+
+  Database db;
+  SchemaGraph graph;
+  Executor exec;
+};
+
+/// Random ETs drawn from actual join results of the scaled retailer, so a
+/// healthy mix of valid and invalid candidates arises.
+std::vector<ExampleTable> RandomEts(Workbench& wb, uint64_t seed, int count) {
+  EtSource::Options options;
+  options.num_matrices = 4;
+  options.min_text_cols = 3;
+  options.min_matrix_rows = 8;
+  EtSource source(wb.db, wb.graph, wb.exec, seed, options);
+  EtParams params;
+  params.m = 3;
+  params.n = 3;
+  params.s = 0.3;
+  params.v = 1;
+  return source.SampleMany(params, count, seed * 31 + 1);
+}
+
+class AgreementTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AgreementTest, AllAlgorithmsComputeTheSameValidSet) {
+  uint64_t seed = GetParam();
+  Workbench wb(seed);
+  for (const ExampleTable& et : RandomEts(wb, seed + 100, 6)) {
+    std::vector<CandidateQuery> candidates =
+        GenerateCandidates(wb.db, wb.graph, et, {});
+    if (candidates.empty()) continue;
+    VerifyContext ctx{wb.db, wb.graph, wb.exec, et, candidates, seed};
+
+    VerifyAll verify_all(RowOrder::kDenseFirst);
+    VerificationCounters c0;
+    std::vector<bool> reference = verify_all.Verify(ctx, &c0);
+
+    VerifyAll verify_all_random(RowOrder::kRandom);
+    SimplePrune simple_prune;
+    FilterVerifier filter_exact(0.5, false);
+    FilterVerifier filter_lazy(0.5, true);
+    FilterVerifier filter_prior0(0.0, false);
+    JoinTreeWeave weave;
+    TupleTreeWeave tuple_weave;
+    CandidateVerifier* algos[] = {&verify_all_random, &simple_prune,
+                                  &filter_exact,      &filter_lazy,
+                                  &filter_prior0,     &weave,
+                                  &tuple_weave};
+    for (CandidateVerifier* algo : algos) {
+      VerificationCounters counters;
+      EXPECT_EQ(algo->Verify(ctx, &counters), reference)
+          << algo->name() << " disagrees (seed " << seed << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AgreementTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+class LemmaTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LemmaTest, FilterDependencyLemmasHoldSemantically) {
+  uint64_t seed = GetParam();
+  Workbench wb(seed);
+  Rng rng(seed * 7 + 3);
+  for (const ExampleTable& et : RandomEts(wb, seed + 200, 2)) {
+    std::vector<CandidateQuery> candidates =
+        GenerateCandidates(wb.db, wb.graph, et, {});
+    if (candidates.empty()) continue;
+    FilterUniverse u = BuildFilterUniverse(wb.graph, et, candidates);
+    // Evaluate a bounded random sample of filters.
+    std::vector<int> ids(u.num_filters());
+    for (int i = 0; i < u.num_filters(); ++i) ids[i] = i;
+    rng.Shuffle(ids);
+    ids.resize(std::min<size_t>(ids.size(), 40));
+    std::vector<int> outcome(u.num_filters(), -1);  // -1 unknown
+    auto eval = [&](int f) {
+      if (outcome[f] < 0) {
+        outcome[f] = wb.exec.Exists(u.filters[f].tree,
+                                    FilterPredicates(u.filters[f], et))
+                         ? 1
+                         : 0;
+      }
+      return outcome[f] == 1;
+    };
+    for (int f : ids) {
+      bool ok = eval(f);
+      if (ok) {
+        // Lemma 4: success implies success of all sub-filters.
+        for (int sub : u.subs_of[f]) {
+          EXPECT_TRUE(eval(sub)) << "Lemma 4 violated (seed " << seed << ")";
+        }
+      } else {
+        // Lemma 3: failure implies failure of all super-filters.
+        for (int super : u.supers_of[f]) {
+          EXPECT_FALSE(eval(super))
+              << "Lemma 3 violated (seed " << seed << ")";
+        }
+        // Lemma 2: every candidate containing f is invalid.
+        for (int q : u.queries_of_filter[f]) {
+          bool candidate_valid = true;
+          for (int r = 0; r < et.num_rows() && candidate_valid; ++r) {
+            candidate_valid = wb.exec.Exists(
+                candidates[q].tree, RowPredicates(candidates[q], et, r));
+          }
+          EXPECT_FALSE(candidate_valid)
+              << "Lemma 2 violated (seed " << seed << ")";
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LemmaTest, ::testing::Values(11, 12, 13, 14));
+
+class Corollary1Test : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Corollary1Test, ValidQueriesSatisfyColumnConstraints) {
+  uint64_t seed = GetParam();
+  Workbench wb(seed);
+  for (const ExampleTable& et : RandomEts(wb, seed + 300, 3)) {
+    std::vector<CandidateQuery> candidates =
+        GenerateCandidates(wb.db, wb.graph, et, {});
+    VerifyContext ctx{wb.db, wb.graph, wb.exec, et, candidates, seed};
+    VerifyAll verify_all;
+    VerificationCounters counters;
+    std::vector<bool> valid = verify_all.Verify(ctx, &counters);
+    auto candidate_cols = RetrieveCandidateColumns(wb.db, et);
+    for (size_t q = 0; q < candidates.size(); ++q) {
+      if (!valid[q]) continue;
+      // A valid query's projection columns must be candidate projection
+      // columns (Eq. 2 holds for each column when Eq. 1 holds for all
+      // rows) — the containment that makes candidate generation complete.
+      for (int c = 0; c < et.num_columns(); ++c) {
+        const std::vector<ColumnRef>& options = candidate_cols[c];
+        EXPECT_NE(std::find(options.begin(), options.end(),
+                            candidates[q].projection[c]),
+                  options.end());
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Corollary1Test,
+                         ::testing::Values(21, 22, 23));
+
+}  // namespace
+}  // namespace qbe

@@ -1,0 +1,169 @@
+#include "schema/schema_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/retailer.h"
+#include "schema/join_tree.h"
+#include "schema/subtree_enum.h"
+
+namespace qbe {
+namespace {
+
+class SchemaTest : public ::testing::Test {
+ protected:
+  SchemaTest() : db_(MakeRetailerDatabase()), graph_(db_) {}
+
+  int Rel(const std::string& name) const {
+    return db_.RelationIdByName(name);
+  }
+
+  /// Builds a join tree from relation names, connecting them greedily via
+  /// any schema edge between an in-tree and out-of-tree relation.
+  JoinTree Tree(const std::vector<std::string>& names) const {
+    JoinTree tree = JoinTree::Single(Rel(names[0]));
+    std::vector<int> wanted;
+    for (size_t i = 1; i < names.size(); ++i) wanted.push_back(Rel(names[i]));
+    while (!wanted.empty()) {
+      bool advanced = false;
+      for (size_t i = 0; i < wanted.size(); ++i) {
+        for (int e = 0; e < graph_.num_edges(); ++e) {
+          const SchemaGraph::Edge& edge = graph_.edge(e);
+          bool from_in = tree.verts.Test(edge.from);
+          bool to_in = tree.verts.Test(edge.to);
+          if (from_in == to_in) continue;
+          int other = from_in ? edge.to : edge.from;
+          if (other != wanted[i]) continue;
+          tree = ExtendTree(tree, graph_, e);
+          wanted.erase(wanted.begin() + i);
+          advanced = true;
+          break;
+        }
+        if (advanced) break;
+      }
+      if (!advanced) ADD_FAILURE() << "could not connect tree";
+      if (!advanced) break;
+    }
+    return tree;
+  }
+
+  Database db_;
+  SchemaGraph graph_;
+};
+
+TEST_F(SchemaTest, GraphShape) {
+  EXPECT_EQ(graph_.num_vertices(), 7);
+  EXPECT_EQ(graph_.num_edges(), 8);
+  // Sales has 3 outgoing FK edges.
+  EXPECT_EQ(graph_.IncidentEdges(Rel("Sales")).size(), 3u);
+  // Device is referenced by Sales and Owner.
+  EXPECT_EQ(graph_.IncidentEdges(Rel("Device")).size(), 2u);
+}
+
+TEST_F(SchemaTest, OtherEnd) {
+  const SchemaGraph::Edge& e = graph_.edge(0);
+  EXPECT_EQ(graph_.OtherEnd(0, e.from), e.to);
+  EXPECT_EQ(graph_.OtherEnd(0, e.to), e.from);
+}
+
+TEST_F(SchemaTest, SingleVertexTree) {
+  JoinTree t = JoinTree::Single(Rel("Sales"));
+  EXPECT_EQ(t.NumVertices(), 1);
+  EXPECT_EQ(t.NumEdges(), 0);
+  EXPECT_EQ(t.LeafVertices(graph_), (std::vector<int>{Rel("Sales")}));
+}
+
+TEST_F(SchemaTest, ExtendTreeAddsVertexAndEdge) {
+  JoinTree t = JoinTree::Single(Rel("Sales"));
+  JoinTree t2 = ExtendTree(t, graph_, 0);  // Sales->Customer
+  EXPECT_EQ(t2.NumVertices(), 2);
+  EXPECT_EQ(t2.NumEdges(), 1);
+  EXPECT_TRUE(t2.verts.Test(Rel("Customer")));
+  EXPECT_TRUE(t.IsSubtreeOf(t2));
+  EXPECT_FALSE(t2.IsSubtreeOf(t));
+}
+
+TEST_F(SchemaTest, DegreesAndLeaves) {
+  JoinTree cq1 = Tree({"Sales", "Customer", "Device", "App"});
+  EXPECT_EQ(cq1.NumVertices(), 4);
+  EXPECT_EQ(cq1.Degree(graph_, Rel("Sales")), 3);
+  EXPECT_EQ(cq1.Degree(graph_, Rel("Customer")), 1);
+  std::vector<int> leaves = cq1.LeafVertices(graph_);
+  EXPECT_EQ(leaves.size(), 3u);  // Customer, Device, App
+  EXPECT_EQ(std::count(leaves.begin(), leaves.end(), Rel("Sales")), 0);
+}
+
+TEST_F(SchemaTest, SubtreeRelationIsReflexiveAndAntisymmetricOnSize) {
+  JoinTree a = Tree({"Owner", "Employee", "Device"});
+  EXPECT_TRUE(a.IsSubtreeOf(a));
+  JoinTree b = Tree({"Owner", "Employee", "Device", "App"});
+  EXPECT_TRUE(a.IsSubtreeOf(b));
+  EXPECT_FALSE(b.IsSubtreeOf(a));
+  // Disjoint-rooted trees are unrelated.
+  JoinTree c = Tree({"Sales", "Customer"});
+  EXPECT_FALSE(c.IsSubtreeOf(b));
+}
+
+TEST_F(SchemaTest, EnumerateSubtreesSizeOne) {
+  std::vector<JoinTree> trees = EnumerateSubtrees(graph_, 1);
+  EXPECT_EQ(trees.size(), 7u);  // one per relation
+}
+
+TEST_F(SchemaTest, EnumerateSubtreesSizeTwoMatchesEdges) {
+  std::vector<JoinTree> trees = EnumerateSubtrees(graph_, 2);
+  // 7 singletons + 8 edges (all edges connect distinct relations).
+  EXPECT_EQ(trees.size(), 7u + 8u);
+}
+
+TEST_F(SchemaTest, EnumerateSubtreesRespectsRequiredSet) {
+  RelationSet required;
+  required.Set(Rel("ESR"));
+  std::vector<JoinTree> trees = EnumerateSubtrees(graph_, 3, &required);
+  for (const JoinTree& t : trees) {
+    EXPECT_TRUE(t.verts.Test(Rel("ESR")));
+  }
+  // ESR alone; ESR+Employee; ESR+App; and all 3-vertex trees through ESR:
+  // ESR-Employee-Owner, ESR-App-Sales, ESR-App-Owner, ESR-Employee-App(x via
+  // ESR itself: Employee-ESR-App), ESR-Employee + ESR-App is that same tree.
+  EXPECT_GE(trees.size(), 5u);
+}
+
+TEST_F(SchemaTest, EnumerateSubtreesNoDuplicates) {
+  std::vector<JoinTree> trees = EnumerateSubtrees(graph_, 4);
+  for (size_t i = 0; i < trees.size(); ++i) {
+    for (size_t j = i + 1; j < trees.size(); ++j) {
+      EXPECT_FALSE(trees[i] == trees[j]);
+    }
+  }
+}
+
+TEST_F(SchemaTest, EnumerateSubtreesAllAreTrees) {
+  for (const JoinTree& t : EnumerateSubtrees(graph_, 5)) {
+    EXPECT_EQ(t.NumEdges(), t.NumVertices() - 1);
+    EXPECT_LE(t.NumVertices(), 5);
+  }
+}
+
+TEST_F(SchemaTest, EnumerateSubtreesOfTree) {
+  // A path of 3 vertices has 3 + 2 + 1 = 6 connected subtrees.
+  JoinTree path = Tree({"Customer", "Sales", "Device"});
+  std::vector<JoinTree> subs = EnumerateSubtreesOfTree(path, graph_);
+  EXPECT_EQ(subs.size(), 6u);
+  for (const JoinTree& s : subs) EXPECT_TRUE(s.IsSubtreeOf(path));
+}
+
+TEST_F(SchemaTest, EnumerateSubtreesOfStarTree) {
+  // Star with center Sales and 3 leaves: subtrees = 4 singles + 3 edges +
+  // 3 two-edge + 1 full = 11.
+  JoinTree star = Tree({"Sales", "Customer", "Device", "App"});
+  EXPECT_EQ(EnumerateSubtreesOfTree(star, graph_).size(), 11u);
+}
+
+TEST_F(SchemaTest, JoinTreeToStringMentionsRelations) {
+  JoinTree t = Tree({"Sales", "Customer"});
+  std::string s = JoinTreeToString(t, graph_, db_);
+  EXPECT_NE(s.find("Sales"), std::string::npos);
+  EXPECT_NE(s.find("Customer"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qbe

@@ -1,0 +1,90 @@
+#include "exec/sql_render.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/retailer.h"
+#include "test_util.h"
+#include "text/tokenizer.h"
+
+namespace qbe {
+namespace {
+
+class SqlRenderTest : public ::testing::Test {
+ protected:
+  SqlRenderTest() : db_(MakeRetailerDatabase()), graph_(db_) {}
+  Database db_;
+  SchemaGraph graph_;
+};
+
+TEST_F(SqlRenderTest, ProjectJoinWithLabels) {
+  JoinTree tree = test::Tree(db_, graph_, {"Sales", "Customer", "Device"});
+  std::string sql = RenderProjectJoinSql(
+      db_, graph_, tree,
+      {test::Col(db_, "Customer.CustName"), test::Col(db_, "Device.DevName")},
+      {"who", "what"});
+  EXPECT_EQ(sql,
+            "SELECT Customer.CustName AS who, Device.DevName AS what "
+            "FROM Customer, Device, Sales "
+            "WHERE Sales.CustId = Customer.CustId AND "
+            "Sales.DevId = Device.DevId");
+}
+
+TEST_F(SqlRenderTest, DefaultSpreadsheetLabels) {
+  JoinTree tree = JoinTree::Single(db_.RelationIdByName("Customer"));
+  std::string sql = RenderProjectJoinSql(
+      db_, graph_, tree,
+      {test::Col(db_, "Customer.CustName"),
+       test::Col(db_, "Customer.CustName")});
+  EXPECT_NE(sql.find("AS A"), std::string::npos);
+  EXPECT_NE(sql.find("AS B"), std::string::npos);
+}
+
+TEST_F(SqlRenderTest, EmptyLabelFallsBackToDefault) {
+  JoinTree tree = JoinTree::Single(db_.RelationIdByName("Customer"));
+  std::string sql = RenderProjectJoinSql(
+      db_, graph_, tree, {test::Col(db_, "Customer.CustName")}, {""});
+  EXPECT_NE(sql.find("AS A"), std::string::npos);
+}
+
+TEST_F(SqlRenderTest, SingleRelationHasNoWhere) {
+  JoinTree tree = JoinTree::Single(db_.RelationIdByName("App"));
+  std::string sql = RenderProjectJoinSql(db_, graph_, tree,
+                                         {test::Col(db_, "App.AppName")});
+  EXPECT_EQ(sql.find("WHERE"), std::string::npos);
+}
+
+TEST_F(SqlRenderTest, VerificationSqlMatchesPaperSection41) {
+  // The paper's §4.1 example: CQ1 verified for row 2 (Mary, iPad).
+  JoinTree cq1 =
+      test::Tree(db_, graph_, {"Sales", "Customer", "Device", "App"});
+  std::string sql = RenderVerificationSql(
+      db_, graph_, cq1,
+      {{test::Col(db_, "Customer.CustName"), Tokenize("Mary"), false},
+       {test::Col(db_, "Device.DevName"), Tokenize("iPad"), false}});
+  EXPECT_NE(sql.find("SELECT TOP 1 *"), std::string::npos);
+  EXPECT_NE(sql.find("Sales.CustId = Customer.CustId"), std::string::npos);
+  EXPECT_NE(sql.find("Sales.DevId = Device.DevId"), std::string::npos);
+  EXPECT_NE(sql.find("Sales.AppId = App.AppId"), std::string::npos);
+  EXPECT_NE(sql.find("CONTAINS(Customer.CustName, 'mary')"),
+            std::string::npos);
+  EXPECT_NE(sql.find("CONTAINS(Device.DevName, 'ipad')"), std::string::npos);
+}
+
+TEST_F(SqlRenderTest, ExactPredicateRendersAsEquals) {
+  JoinTree tree = JoinTree::Single(db_.RelationIdByName("App"));
+  std::string sql = RenderVerificationSql(
+      db_, graph_, tree,
+      {{test::Col(db_, "App.AppName"), Tokenize("Dropbox"), true}});
+  EXPECT_NE(sql.find("EQUALS(App.AppName, 'dropbox')"), std::string::npos);
+}
+
+TEST_F(SqlRenderTest, MultiTokenPhraseJoined) {
+  JoinTree tree = JoinTree::Single(db_.RelationIdByName("ESR"));
+  std::string sql = RenderVerificationSql(
+      db_, graph_, tree,
+      {{test::Col(db_, "ESR.Desc"), Tokenize("Office crash"), false}});
+  EXPECT_NE(sql.find("'office crash'"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qbe

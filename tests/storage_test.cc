@@ -1,0 +1,132 @@
+#include "storage/database.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/retailer.h"
+#include "storage/relation.h"
+
+namespace qbe {
+namespace {
+
+TEST(RelationTest, AppendAndAccess) {
+  Relation r("R", {{"id", ColumnType::kId}, {"name", ColumnType::kText}});
+  r.AppendRow({int64_t{7}, std::string("hello world")});
+  r.AppendRow({int64_t{9}, std::string("bye")});
+  EXPECT_EQ(r.num_rows(), 2u);
+  EXPECT_EQ(r.num_columns(), 2);
+  EXPECT_EQ(r.IdAt(0, 0), 7);
+  EXPECT_EQ(r.IdAt(0, 1), 9);
+  EXPECT_EQ(r.TextAt(1, 0), "hello world");
+  EXPECT_EQ(r.TextColumn(1).size(), 2u);
+  EXPECT_EQ(r.IdColumn(0).size(), 2u);
+}
+
+TEST(RelationTest, ColumnIndexByName) {
+  Relation r("R", {{"id", ColumnType::kId}, {"name", ColumnType::kText}});
+  EXPECT_EQ(r.ColumnIndexByName("id"), 0);
+  EXPECT_EQ(r.ColumnIndexByName("name"), 1);
+  EXPECT_EQ(r.ColumnIndexByName("missing"), -1);
+}
+
+TEST(RelationTest, MemoryBytesGrowsWithData) {
+  Relation r("R", {{"id", ColumnType::kId}, {"name", ColumnType::kText}});
+  size_t before = r.MemoryBytes();
+  r.AppendRow({int64_t{1}, std::string("some text content")});
+  EXPECT_GT(r.MemoryBytes(), before);
+}
+
+class DatabaseTest : public ::testing::Test {
+ protected:
+  DatabaseTest() : db_(MakeRetailerDatabase()) {}
+  Database db_;
+};
+
+TEST_F(DatabaseTest, CatalogStatistics) {
+  EXPECT_EQ(db_.num_relations(), 7);
+  EXPECT_EQ(db_.foreign_keys().size(), 8u);
+  EXPECT_EQ(db_.TotalColumns(), 20);
+  EXPECT_EQ(db_.TotalTextColumns(), 5);
+}
+
+TEST_F(DatabaseTest, RelationIdByName) {
+  EXPECT_GE(db_.RelationIdByName("Sales"), 0);
+  EXPECT_EQ(db_.RelationIdByName("Nope"), -1);
+}
+
+TEST_F(DatabaseTest, TextColumnGids) {
+  int customer = db_.RelationIdByName("Customer");
+  int name_col = db_.relation(customer).ColumnIndexByName("CustName");
+  int gid = db_.TextColumnGid(ColumnRef{customer, name_col});
+  ASSERT_GE(gid, 0);
+  EXPECT_EQ(db_.TextColumnByGid(gid), (ColumnRef{customer, name_col}));
+  // Id columns have no gid.
+  int id_col = db_.relation(customer).ColumnIndexByName("CustId");
+  EXPECT_EQ(db_.TextColumnGid(ColumnRef{customer, id_col}), -1);
+}
+
+TEST_F(DatabaseTest, PkLookup) {
+  int customer = db_.RelationIdByName("Customer");
+  int pk = db_.relation(customer).ColumnIndexByName("CustId");
+  EXPECT_EQ(db_.PkLookup(customer, pk, 1), 0);
+  EXPECT_EQ(db_.PkLookup(customer, pk, 3), 2);
+  EXPECT_EQ(db_.PkLookup(customer, pk, 99), -1);
+}
+
+TEST_F(DatabaseTest, FkLookup) {
+  // Sales.CustId -> Customer.CustId is edge 0; each customer has one sale.
+  const std::vector<uint32_t>* rows = db_.FkLookup(0, 2);
+  ASSERT_NE(rows, nullptr);
+  EXPECT_EQ(*rows, (std::vector<uint32_t>{1}));
+  EXPECT_EQ(db_.FkLookup(0, 42), nullptr);
+}
+
+TEST_F(DatabaseTest, ReferencedRowsAndDangling) {
+  // Every Customer row is referenced by Sales; no dangling FKs in Figure 1.
+  EXPECT_EQ(db_.ReferencedRows(0).size(), 3u);
+  for (size_t e = 0; e < db_.foreign_keys().size(); ++e) {
+    EXPECT_TRUE(db_.EdgeHasNoDangling(static_cast<int>(e)));
+  }
+  // ESR references only employees 1 and 2 (rows 0 and 1).
+  int esr_emp_edge = 6;
+  const ForeignKey& fk = db_.foreign_key(esr_emp_edge);
+  EXPECT_EQ(db_.relation(fk.from_rel).name(), "ESR");
+  EXPECT_EQ(db_.relation(fk.to_rel).name(), "Employee");
+  EXPECT_EQ(db_.ReferencedRows(esr_emp_edge),
+            (std::vector<uint32_t>{0, 1}));
+}
+
+TEST_F(DatabaseTest, DanglingForeignKeyDetected) {
+  Database db;
+  Relation dim("Dim", {{"id", ColumnType::kId}, {"t", ColumnType::kText}});
+  dim.AppendRow({int64_t{1}, std::string("x")});
+  Relation fact("Fact", {{"fid", ColumnType::kId}, {"id", ColumnType::kId}});
+  fact.AppendRow({int64_t{1}, int64_t{1}});
+  fact.AppendRow({int64_t{2}, int64_t{99}});  // dangling
+  db.AddRelation(std::move(dim));
+  db.AddRelation(std::move(fact));
+  int edge = db.AddForeignKey("Fact", "id", "Dim", "id");
+  db.BuildIndexes();
+  EXPECT_FALSE(db.EdgeHasNoDangling(edge));
+  EXPECT_EQ(db.ValidFromRows(edge), (std::vector<uint32_t>{0}));
+  EXPECT_EQ(db.ReferencedRows(edge), (std::vector<uint32_t>{0}));
+}
+
+TEST_F(DatabaseTest, QualifiedColumnName) {
+  int customer = db_.RelationIdByName("Customer");
+  EXPECT_EQ(db_.QualifiedColumnName(ColumnRef{customer, 1}),
+            "Customer.CustName");
+}
+
+TEST_F(DatabaseTest, TextIndexReachable) {
+  int app = db_.RelationIdByName("App");
+  int col = db_.relation(app).ColumnIndexByName("AppName");
+  const InvertedIndex& index = db_.TextIndex(ColumnRef{app, col});
+  EXPECT_EQ(index.MatchPhrase({"dropbox"}).size(), 1u);
+}
+
+TEST_F(DatabaseTest, MemoryBytesPositive) {
+  EXPECT_GT(db_.MemoryBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace qbe

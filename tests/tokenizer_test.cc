@@ -1,0 +1,71 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace qbe {
+namespace {
+
+TEST(TokenizerTest, LowercasesAndSplits) {
+  EXPECT_EQ(Tokenize("ThinkPad X1"), (std::vector<std::string>{"thinkpad",
+                                                               "x1"}));
+}
+
+TEST(TokenizerTest, PunctuationSeparates) {
+  EXPECT_EQ(Tokenize("Dropbox can't sync!"),
+            (std::vector<std::string>{"dropbox", "can", "t", "sync"}));
+}
+
+TEST(TokenizerTest, EmptyAndWhitespaceOnly) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("  \t--- ").empty());
+}
+
+TEST(TokenizerTest, DigitsAreTokens) {
+  EXPECT_EQ(Tokenize("Office 2013"),
+            (std::vector<std::string>{"office", "2013"}));
+}
+
+TEST(SubsequenceTest, EmptyNeedleMatchesEverything) {
+  EXPECT_TRUE(IsTokenSubsequence({}, {}));
+  EXPECT_TRUE(IsTokenSubsequence({}, {"a"}));
+}
+
+TEST(SubsequenceTest, ExactMatch) {
+  EXPECT_TRUE(IsTokenSubsequence({"a", "b"}, {"a", "b"}));
+}
+
+TEST(SubsequenceTest, MustBeConsecutive) {
+  // Definition 2 remark: tokens must appear consecutively.
+  EXPECT_TRUE(IsTokenSubsequence({"b", "c"}, {"a", "b", "c", "d"}));
+  EXPECT_FALSE(IsTokenSubsequence({"a", "c"}, {"a", "b", "c"}));
+}
+
+TEST(SubsequenceTest, NeedleLongerThanHaystack) {
+  EXPECT_FALSE(IsTokenSubsequence({"a", "b"}, {"a"}));
+}
+
+TEST(SubsequenceTest, RepeatedTokens) {
+  EXPECT_TRUE(IsTokenSubsequence({"a", "a"}, {"b", "a", "a"}));
+  EXPECT_FALSE(IsTokenSubsequence({"a", "a"}, {"a", "b", "a"}));
+}
+
+TEST(ContainsPhraseTest, PaperExamples) {
+  // From Example 3: 'Mike' is contained in 'Mike Jones', 'ThinkPad' in
+  // 'ThinkPad X1', 'Office' in 'Office 2013'.
+  EXPECT_TRUE(ContainsPhrase("Mike Jones", "Mike"));
+  EXPECT_TRUE(ContainsPhrase("ThinkPad X1", "ThinkPad"));
+  EXPECT_TRUE(ContainsPhrase("Office 2013", "Office"));
+  EXPECT_FALSE(ContainsPhrase("Mike Jones", "Mary"));
+}
+
+TEST(ContainsPhraseTest, CaseInsensitive) {
+  EXPECT_TRUE(ContainsPhrase("MIKE JONES", "mike jones"));
+}
+
+TEST(ContainsPhraseTest, MultiTokenPhrase) {
+  EXPECT_TRUE(ContainsPhrase("the silent river runs", "silent river"));
+  EXPECT_FALSE(ContainsPhrase("the silent blue river", "silent river"));
+}
+
+}  // namespace
+}  // namespace qbe

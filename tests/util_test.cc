@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "util/rng.h"
+#include "util/small_bitset.h"
+#include "util/string_util.h"
+#include "util/zipf.h"
+
+namespace qbe {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.Next() == b.Next();
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, NextBoundedCoversAllValues) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.NextBounded(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoolRespectsProbability) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.NextBool(0.25);
+  EXPECT_NEAR(hits / 10000.0, 0.25, 0.03);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(19);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngTest, ForkIsIndependent) {
+  Rng parent(23);
+  Rng child = parent.Fork();
+  EXPECT_NE(parent.Next(), child.Next());
+}
+
+TEST(SmallBitsetTest, SetTestReset) {
+  RelationSet s;
+  EXPECT_TRUE(s.Empty());
+  s.Set(0);
+  s.Set(63);
+  s.Set(64);
+  s.Set(127);
+  EXPECT_TRUE(s.Test(0));
+  EXPECT_TRUE(s.Test(63));
+  EXPECT_TRUE(s.Test(64));
+  EXPECT_TRUE(s.Test(127));
+  EXPECT_FALSE(s.Test(1));
+  EXPECT_EQ(s.Count(), 4);
+  s.Reset(63);
+  EXPECT_FALSE(s.Test(63));
+  EXPECT_EQ(s.Count(), 3);
+}
+
+TEST(SmallBitsetTest, SubsetAndIntersect) {
+  RelationSet a, b;
+  a.Set(3);
+  a.Set(70);
+  b.Set(3);
+  b.Set(70);
+  b.Set(100);
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+  EXPECT_TRUE(a.Intersects(b));
+  RelationSet c;
+  c.Set(5);
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_TRUE(c.IsSubsetOf(c));
+}
+
+TEST(SmallBitsetTest, SetOperations) {
+  RelationSet a, b;
+  a.Set(1);
+  a.Set(2);
+  b.Set(2);
+  b.Set(3);
+  EXPECT_EQ(a.Union(b).Count(), 3);
+  EXPECT_EQ(a.Intersect(b).Count(), 1);
+  EXPECT_TRUE(a.Intersect(b).Test(2));
+  EXPECT_EQ(a.Minus(b).Count(), 1);
+  EXPECT_TRUE(a.Minus(b).Test(1));
+}
+
+TEST(SmallBitsetTest, IterationAscending) {
+  EdgeSet s;
+  s.Set(5);
+  s.Set(64);
+  s.Set(130);
+  std::vector<int> seen;
+  s.ForEach([&](int i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<int>{5, 64, 130}));
+  EXPECT_EQ(s.First(), 5);
+  EXPECT_EQ(s.Next(5), 64);
+  EXPECT_EQ(s.Next(64), 130);
+  EXPECT_EQ(s.Next(130), -1);
+}
+
+TEST(SmallBitsetTest, EqualityAndHash) {
+  RelationSet a, b;
+  a.Set(10);
+  b.Set(10);
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  b.Set(11);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(ZipfTest, UniformWhenThetaZero) {
+  ZipfSampler zipf(4, 0.0);
+  Rng rng(29);
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 40000; ++i) counts[zipf.Sample(rng)] += 1;
+  for (int c : counts) EXPECT_NEAR(c / 40000.0, 0.25, 0.03);
+}
+
+TEST(ZipfTest, SkewedWhenThetaPositive) {
+  ZipfSampler zipf(100, 1.0);
+  Rng rng(31);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) counts[zipf.Sample(rng)] += 1;
+  EXPECT_GT(counts[0], counts[50] * 5);
+}
+
+TEST(StringUtilTest, AsciiLower) {
+  EXPECT_EQ(AsciiLower("MiKe JoNeS 42"), "mike jones 42");
+}
+
+TEST(StringUtilTest, JoinStrings) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(JoinStrings({}, ", "), "");
+  EXPECT_EQ(JoinStrings({"solo"}, ","), "solo");
+}
+
+TEST(StringUtilTest, SplitString) {
+  EXPECT_EQ(SplitString("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(SplitString("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringUtilTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  hi \t\n"), "hi");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace("   "), "");
+}
+
+}  // namespace
+}  // namespace qbe
