@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_candidates_vs_valid.dir/bench_fig03_candidates_vs_valid.cc.o"
+  "CMakeFiles/bench_fig03_candidates_vs_valid.dir/bench_fig03_candidates_vs_valid.cc.o.d"
+  "bench_fig03_candidates_vs_valid"
+  "bench_fig03_candidates_vs_valid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_candidates_vs_valid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_vary_columns_imdb.dir/bench_fig10_vary_columns_imdb.cc.o"
+  "CMakeFiles/bench_fig10_vary_columns_imdb.dir/bench_fig10_vary_columns_imdb.cc.o.d"
+  "bench_fig10_vary_columns_imdb"
+  "bench_fig10_vary_columns_imdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_vary_columns_imdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_vary_join_length_imdb.dir/bench_fig13_vary_join_length_imdb.cc.o"
+  "CMakeFiles/bench_fig13_vary_join_length_imdb.dir/bench_fig13_vary_join_length_imdb.cc.o.d"
+  "bench_fig13_vary_join_length_imdb"
+  "bench_fig13_vary_join_length_imdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_vary_join_length_imdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_cust.dir/bench_fig14_cust.cc.o"
+  "CMakeFiles/bench_fig14_cust.dir/bench_fig14_cust.cc.o.d"
+  "bench_fig14_cust"
+  "bench_fig14_cust.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_cust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_case_by_case.dir/bench_fig15_case_by_case.cc.o"
+  "CMakeFiles/bench_fig15_case_by_case.dir/bench_fig15_case_by_case.cc.o.d"
+  "bench_fig15_case_by_case"
+  "bench_fig15_case_by_case.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_case_by_case.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_parameters.dir/bench_table3_parameters.cc.o"
+  "CMakeFiles/bench_table3_parameters.dir/bench_table3_parameters.cc.o.d"
+  "bench_table3_parameters"
+  "bench_table3_parameters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_parameters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_weave_vs_filter.dir/bench_table4_weave_vs_filter.cc.o"
+  "CMakeFiles/bench_table4_weave_vs_filter.dir/bench_table4_weave_vs_filter.cc.o.d"
+  "bench_table4_weave_vs_filter"
+  "bench_table4_weave_vs_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_weave_vs_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

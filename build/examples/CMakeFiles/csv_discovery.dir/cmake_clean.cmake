@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csv_discovery.dir/csv_discovery.cpp.o"
+  "CMakeFiles/csv_discovery.dir/csv_discovery.cpp.o.d"
+  "csv_discovery"
+  "csv_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csv_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discovery_repl.dir/discovery_repl.cpp.o"
+  "CMakeFiles/discovery_repl.dir/discovery_repl.cpp.o.d"
+  "discovery_repl"
+  "discovery_repl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discovery_repl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sales_report.dir/sales_report.cpp.o"
+  "CMakeFiles/sales_report.dir/sales_report.cpp.o.d"
+  "sales_report"
+  "sales_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sales_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

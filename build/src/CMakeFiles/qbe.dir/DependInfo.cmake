@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/candidate_gen.cc" "src/CMakeFiles/qbe.dir/core/candidate_gen.cc.o" "gcc" "src/CMakeFiles/qbe.dir/core/candidate_gen.cc.o.d"
+  "/root/repo/src/core/candidate_query.cc" "src/CMakeFiles/qbe.dir/core/candidate_query.cc.o" "gcc" "src/CMakeFiles/qbe.dir/core/candidate_query.cc.o.d"
+  "/root/repo/src/core/discovery.cc" "src/CMakeFiles/qbe.dir/core/discovery.cc.o" "gcc" "src/CMakeFiles/qbe.dir/core/discovery.cc.o.d"
+  "/root/repo/src/core/example_table.cc" "src/CMakeFiles/qbe.dir/core/example_table.cc.o" "gcc" "src/CMakeFiles/qbe.dir/core/example_table.cc.o.d"
+  "/root/repo/src/core/execute_all.cc" "src/CMakeFiles/qbe.dir/core/execute_all.cc.o" "gcc" "src/CMakeFiles/qbe.dir/core/execute_all.cc.o.d"
+  "/root/repo/src/core/explain.cc" "src/CMakeFiles/qbe.dir/core/explain.cc.o" "gcc" "src/CMakeFiles/qbe.dir/core/explain.cc.o.d"
+  "/root/repo/src/core/filter.cc" "src/CMakeFiles/qbe.dir/core/filter.cc.o" "gcc" "src/CMakeFiles/qbe.dir/core/filter.cc.o.d"
+  "/root/repo/src/core/filter_universe.cc" "src/CMakeFiles/qbe.dir/core/filter_universe.cc.o" "gcc" "src/CMakeFiles/qbe.dir/core/filter_universe.cc.o.d"
+  "/root/repo/src/core/filter_verifier.cc" "src/CMakeFiles/qbe.dir/core/filter_verifier.cc.o" "gcc" "src/CMakeFiles/qbe.dir/core/filter_verifier.cc.o.d"
+  "/root/repo/src/core/keyword_search.cc" "src/CMakeFiles/qbe.dir/core/keyword_search.cc.o" "gcc" "src/CMakeFiles/qbe.dir/core/keyword_search.cc.o.d"
+  "/root/repo/src/core/session.cc" "src/CMakeFiles/qbe.dir/core/session.cc.o" "gcc" "src/CMakeFiles/qbe.dir/core/session.cc.o.d"
+  "/root/repo/src/core/simple_prune.cc" "src/CMakeFiles/qbe.dir/core/simple_prune.cc.o" "gcc" "src/CMakeFiles/qbe.dir/core/simple_prune.cc.o.d"
+  "/root/repo/src/core/verify_all.cc" "src/CMakeFiles/qbe.dir/core/verify_all.cc.o" "gcc" "src/CMakeFiles/qbe.dir/core/verify_all.cc.o.d"
+  "/root/repo/src/core/weave.cc" "src/CMakeFiles/qbe.dir/core/weave.cc.o" "gcc" "src/CMakeFiles/qbe.dir/core/weave.cc.o.d"
+  "/root/repo/src/datagen/cust_like.cc" "src/CMakeFiles/qbe.dir/datagen/cust_like.cc.o" "gcc" "src/CMakeFiles/qbe.dir/datagen/cust_like.cc.o.d"
+  "/root/repo/src/datagen/et_gen.cc" "src/CMakeFiles/qbe.dir/datagen/et_gen.cc.o" "gcc" "src/CMakeFiles/qbe.dir/datagen/et_gen.cc.o.d"
+  "/root/repo/src/datagen/imdb_like.cc" "src/CMakeFiles/qbe.dir/datagen/imdb_like.cc.o" "gcc" "src/CMakeFiles/qbe.dir/datagen/imdb_like.cc.o.d"
+  "/root/repo/src/datagen/names.cc" "src/CMakeFiles/qbe.dir/datagen/names.cc.o" "gcc" "src/CMakeFiles/qbe.dir/datagen/names.cc.o.d"
+  "/root/repo/src/datagen/retailer.cc" "src/CMakeFiles/qbe.dir/datagen/retailer.cc.o" "gcc" "src/CMakeFiles/qbe.dir/datagen/retailer.cc.o.d"
+  "/root/repo/src/datagen/text_gen.cc" "src/CMakeFiles/qbe.dir/datagen/text_gen.cc.o" "gcc" "src/CMakeFiles/qbe.dir/datagen/text_gen.cc.o.d"
+  "/root/repo/src/exec/executor.cc" "src/CMakeFiles/qbe.dir/exec/executor.cc.o" "gcc" "src/CMakeFiles/qbe.dir/exec/executor.cc.o.d"
+  "/root/repo/src/exec/sql_render.cc" "src/CMakeFiles/qbe.dir/exec/sql_render.cc.o" "gcc" "src/CMakeFiles/qbe.dir/exec/sql_render.cc.o.d"
+  "/root/repo/src/exec/stats.cc" "src/CMakeFiles/qbe.dir/exec/stats.cc.o" "gcc" "src/CMakeFiles/qbe.dir/exec/stats.cc.o.d"
+  "/root/repo/src/harness/experiment.cc" "src/CMakeFiles/qbe.dir/harness/experiment.cc.o" "gcc" "src/CMakeFiles/qbe.dir/harness/experiment.cc.o.d"
+  "/root/repo/src/harness/table_printer.cc" "src/CMakeFiles/qbe.dir/harness/table_printer.cc.o" "gcc" "src/CMakeFiles/qbe.dir/harness/table_printer.cc.o.d"
+  "/root/repo/src/schema/join_tree.cc" "src/CMakeFiles/qbe.dir/schema/join_tree.cc.o" "gcc" "src/CMakeFiles/qbe.dir/schema/join_tree.cc.o.d"
+  "/root/repo/src/schema/schema_graph.cc" "src/CMakeFiles/qbe.dir/schema/schema_graph.cc.o" "gcc" "src/CMakeFiles/qbe.dir/schema/schema_graph.cc.o.d"
+  "/root/repo/src/schema/subtree_enum.cc" "src/CMakeFiles/qbe.dir/schema/subtree_enum.cc.o" "gcc" "src/CMakeFiles/qbe.dir/schema/subtree_enum.cc.o.d"
+  "/root/repo/src/storage/catalog_io.cc" "src/CMakeFiles/qbe.dir/storage/catalog_io.cc.o" "gcc" "src/CMakeFiles/qbe.dir/storage/catalog_io.cc.o.d"
+  "/root/repo/src/storage/csv.cc" "src/CMakeFiles/qbe.dir/storage/csv.cc.o" "gcc" "src/CMakeFiles/qbe.dir/storage/csv.cc.o.d"
+  "/root/repo/src/storage/database.cc" "src/CMakeFiles/qbe.dir/storage/database.cc.o" "gcc" "src/CMakeFiles/qbe.dir/storage/database.cc.o.d"
+  "/root/repo/src/storage/relation.cc" "src/CMakeFiles/qbe.dir/storage/relation.cc.o" "gcc" "src/CMakeFiles/qbe.dir/storage/relation.cc.o.d"
+  "/root/repo/src/text/column_index.cc" "src/CMakeFiles/qbe.dir/text/column_index.cc.o" "gcc" "src/CMakeFiles/qbe.dir/text/column_index.cc.o.d"
+  "/root/repo/src/text/inverted_index.cc" "src/CMakeFiles/qbe.dir/text/inverted_index.cc.o" "gcc" "src/CMakeFiles/qbe.dir/text/inverted_index.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/CMakeFiles/qbe.dir/text/tokenizer.cc.o" "gcc" "src/CMakeFiles/qbe.dir/text/tokenizer.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/qbe.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/qbe.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "src/CMakeFiles/qbe.dir/util/string_util.cc.o" "gcc" "src/CMakeFiles/qbe.dir/util/string_util.cc.o.d"
+  "/root/repo/src/util/zipf.cc" "src/CMakeFiles/qbe.dir/util/zipf.cc.o" "gcc" "src/CMakeFiles/qbe.dir/util/zipf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

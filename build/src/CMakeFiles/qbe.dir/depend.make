@@ -1,0 +1,2 @@
+# Empty dependencies file for qbe.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/candidate_gen_test.dir/candidate_gen_test.cc.o"
+  "CMakeFiles/candidate_gen_test.dir/candidate_gen_test.cc.o.d"
+  "candidate_gen_test"
+  "candidate_gen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/candidate_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

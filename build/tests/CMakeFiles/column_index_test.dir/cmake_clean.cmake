@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/column_index_test.dir/column_index_test.cc.o"
+  "CMakeFiles/column_index_test.dir/column_index_test.cc.o.d"
+  "column_index_test"
+  "column_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/column_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cust_integration_test.dir/cust_integration_test.cc.o"
+  "CMakeFiles/cust_integration_test.dir/cust_integration_test.cc.o.d"
+  "cust_integration_test"
+  "cust_integration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cust_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

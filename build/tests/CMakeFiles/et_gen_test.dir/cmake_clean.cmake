@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/et_gen_test.dir/et_gen_test.cc.o"
+  "CMakeFiles/et_gen_test.dir/et_gen_test.cc.o.d"
+  "et_gen_test"
+  "et_gen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/et_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/et_param_sweep_test.dir/et_param_sweep_test.cc.o"
+  "CMakeFiles/et_param_sweep_test.dir/et_param_sweep_test.cc.o.d"
+  "et_param_sweep_test"
+  "et_param_sweep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/et_param_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

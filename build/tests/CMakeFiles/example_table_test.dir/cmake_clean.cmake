@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_table_test.dir/example_table_test.cc.o"
+  "CMakeFiles/example_table_test.dir/example_table_test.cc.o.d"
+  "example_table_test"
+  "example_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/executor_materialize_test.dir/executor_materialize_test.cc.o"
+  "CMakeFiles/executor_materialize_test.dir/executor_materialize_test.cc.o.d"
+  "executor_materialize_test"
+  "executor_materialize_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/executor_materialize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filter_verifier_test.dir/filter_verifier_test.cc.o"
+  "CMakeFiles/filter_verifier_test.dir/filter_verifier_test.cc.o.d"
+  "filter_verifier_test"
+  "filter_verifier_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filter_verifier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_edge_test.dir/multi_edge_test.cc.o"
+  "CMakeFiles/multi_edge_test.dir/multi_edge_test.cc.o.d"
+  "multi_edge_test"
+  "multi_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/print_sweep_test.dir/print_sweep_test.cc.o"
+  "CMakeFiles/print_sweep_test.dir/print_sweep_test.cc.o.d"
+  "print_sweep_test"
+  "print_sweep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/print_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

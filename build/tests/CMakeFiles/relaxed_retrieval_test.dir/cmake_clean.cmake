@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relaxed_retrieval_test.dir/relaxed_retrieval_test.cc.o"
+  "CMakeFiles/relaxed_retrieval_test.dir/relaxed_retrieval_test.cc.o.d"
+  "relaxed_retrieval_test"
+  "relaxed_retrieval_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relaxed_retrieval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_render_test.dir/sql_render_test.cc.o"
+  "CMakeFiles/sql_render_test.dir/sql_render_test.cc.o.d"
+  "sql_render_test"
+  "sql_render_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_render_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

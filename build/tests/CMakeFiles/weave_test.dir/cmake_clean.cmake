@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weave_test.dir/weave_test.cc.o"
+  "CMakeFiles/weave_test.dir/weave_test.cc.o.d"
+  "weave_test"
+  "weave_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weave_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

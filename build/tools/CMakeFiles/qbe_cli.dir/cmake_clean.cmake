@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qbe_cli.dir/qbe_cli.cc.o"
+  "CMakeFiles/qbe_cli.dir/qbe_cli.cc.o.d"
+  "qbe_cli"
+  "qbe_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qbe_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
