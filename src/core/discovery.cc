@@ -61,6 +61,21 @@ double RankScore(const Database& db, const ExampleTable& et,
 
 }  // namespace
 
+namespace {
+
+bool DeadlineExpired(const DiscoveryOptions& options) {
+  return options.deadline != nullptr && options.deadline->Expired();
+}
+
+DiscoveryResult& MarkTimedOut(DiscoveryResult& result) {
+  result.timed_out = true;
+  result.error = "deadline exceeded before verification finished";
+  result.queries.clear();
+  return result;
+}
+
+}  // namespace
+
 DiscoveryResult DiscoverQueries(const Database& db, const ExampleTable& et,
                                 const DiscoveryOptions& options) {
   DiscoveryResult result;
@@ -69,6 +84,7 @@ DiscoveryResult DiscoverQueries(const Database& db, const ExampleTable& et,
         "example table must be non-empty with no fully-empty row or column";
     return result;
   }
+  if (DeadlineExpired(options)) return MarkTimedOut(result);
 
   SchemaGraph graph(db);
   Executor exec(db, graph);
@@ -90,8 +106,11 @@ DiscoveryResult DiscoverQueries(const Database& db, const ExampleTable& et,
   result.num_candidates = candidates.size();
   if (candidates.empty()) return result;
 
-  VerifyContext ctx{db,         graph,      exec, et,
-                    candidates, options.seed, options.cache};
+  if (DeadlineExpired(options)) return MarkTimedOut(result);
+
+  VerifyContext ctx{db,           graph,         exec,
+                    et,           candidates,    options.seed,
+                    options.cache, options.deadline};
 
   std::vector<int> matched(candidates.size(), 0);
   std::vector<bool> keep(candidates.size(), false);
@@ -122,6 +141,9 @@ DiscoveryResult DiscoverQueries(const Database& db, const ExampleTable& et,
       matched[q] = valid[q] ? et.num_rows() : 0;
     }
   }
+  // An aborted run's validity vector is fabricated from the abort point on;
+  // surface the timeout instead of a wrong answer.
+  if (result.counters.aborted) return MarkTimedOut(result);
 
   std::vector<std::string> labels;
   for (int c = 0; c < et.num_columns(); ++c)

@@ -48,9 +48,17 @@ struct DiscoveryOptions {
 
   size_t max_candidates = 200000;
 
-  /// Optional shared verification-outcome cache (see EvalCache); used by
-  /// DiscoverySession to make incremental refinement cheap. Not owned.
-  EvalCache* cache = nullptr;
+  /// Optional shared verification-outcome cache (see EvalCacheBase); used
+  /// by DiscoverySession to make incremental refinement cheap and by
+  /// DiscoveryService to share outcomes across concurrent requests. Not
+  /// owned. Must be a thread-safe implementation (ConcurrentEvalCache)
+  /// when discoveries run concurrently.
+  EvalCacheBase* cache = nullptr;
+
+  /// Optional cooperative deadline/cancellation token (per-request timeout
+  /// in DiscoveryService). Polled between CQ-row verifications; an expired
+  /// run returns DiscoveryResult::timed_out with no queries. Not owned.
+  const DeadlineToken* deadline = nullptr;
 };
 
 /// One discovered query: the minimal valid project-join query, its SQL
@@ -73,6 +81,9 @@ struct DiscoveryResult {
   /// Empty on success; otherwise why discovery refused the input (e.g. an
   /// example table with a fully-empty row or column, Definition 1).
   std::string error;
+  /// True when the run was cut short by DiscoveryOptions::deadline; error
+  /// is set and `queries` is empty.
+  bool timed_out = false;
 
   bool ok() const { return error.empty(); }
 };

@@ -6,8 +6,17 @@ namespace qbe {
 
 DiscoverySession::DiscoverySession(const Database& db,
                                    const DiscoveryOptions& options)
-    : db_(db), options_(options), graph_(db), exec_(db, graph_) {
-  options_.cache = &cache_;
+    : DiscoverySession(db, options, nullptr) {}
+
+DiscoverySession::DiscoverySession(const Database& db,
+                                   const DiscoveryOptions& options,
+                                   EvalCacheBase* shared_cache)
+    : db_(db),
+      options_(options),
+      graph_(db),
+      exec_(db, graph_),
+      cache_(shared_cache != nullptr ? shared_cache : &own_cache_) {
+  options_.cache = cache_;
 }
 
 void DiscoverySession::SetTable(ExampleTable et) {

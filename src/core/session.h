@@ -26,9 +26,17 @@ namespace qbe {
 /// information worker rarely types the whole ET up front.
 class DiscoverySession {
  public:
-  /// The database must outlive the session and have indexes built.
+  /// The database must outlive the session and have indexes built. The
+  /// session owns a private single-threaded EvalCache.
   explicit DiscoverySession(const Database& db,
                             const DiscoveryOptions& options = {});
+
+  /// Shares verification outcomes with other sessions through
+  /// `shared_cache` (not owned; must outlive the session). Pass a
+  /// thread-safe implementation — typically the ConcurrentEvalCache owned
+  /// by a DiscoveryService — when sessions run on different threads.
+  DiscoverySession(const Database& db, const DiscoveryOptions& options,
+                   EvalCacheBase* shared_cache);
 
   /// Replaces the example table (keeps the outcome cache).
   void SetTable(ExampleTable et);
@@ -49,9 +57,10 @@ class DiscoverySession {
 
   /// Cumulative verifications actually executed across all Discover calls.
   int64_t total_verifications() const { return total_verifications_; }
-  /// Verifications avoided thanks to the cache.
-  int64_t cache_hits() const { return cache_.hits; }
-  size_t cache_size() const { return cache_.size(); }
+  /// Verifications avoided thanks to the cache. With a shared cache these
+  /// are process-wide numbers, not per-session ones.
+  int64_t cache_hits() const { return cache_->hits(); }
+  size_t cache_size() const { return cache_->size(); }
 
  private:
   void RebuildTable();
@@ -60,7 +69,8 @@ class DiscoverySession {
   DiscoveryOptions options_;
   SchemaGraph graph_;
   Executor exec_;
-  EvalCache cache_;
+  EvalCache own_cache_;
+  EvalCacheBase* cache_;  // own_cache_ or the shared cache
   std::vector<std::string> column_names_;
   std::vector<std::vector<EtCell>> rows_;
   std::unique_ptr<ExampleTable> et_;

@@ -2,7 +2,9 @@
 #define QBE_CORE_VERIFIER_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -12,6 +14,8 @@
 #include "exec/executor.h"
 #include "schema/schema_graph.h"
 #include "storage/database.h"
+#include "util/check.h"
+#include "util/deadline.h"
 
 namespace qbe {
 
@@ -30,6 +34,10 @@ struct VerificationCounters {
   double elapsed_seconds = 0.0;
   int64_t pruned_without_verification = 0;
   size_t peak_memory_bytes = 0;
+  /// Set when a DeadlineToken expired mid-run: the validity vector is not
+  /// trustworthy (remaining evaluations were reported as failures without
+  /// executing) and the caller must discard the results.
+  bool aborted = false;
 
   void Add(const VerificationCounters& other) {
     verifications += other.verifications;
@@ -39,19 +47,77 @@ struct VerificationCounters {
     if (other.peak_memory_bytes > peak_memory_bytes) {
       peak_memory_bytes = other.peak_memory_bytes;
     }
+    aborted = aborted || other.aborted;
   }
 };
 
 /// Cross-run cache of verification outcomes. A filter's result is fully
 /// determined by its join tree and predicate set (the ET row is only a
-/// source of predicate values), so outcomes can be reused across reruns
-/// and across incremental discovery steps (DiscoverySession): adding a new
-/// ET row leaves every prior row's evaluations valid.
-struct EvalCache {
-  std::unordered_map<std::string, bool> outcomes;
-  int64_t hits = 0;
+/// source of predicate values), so outcomes can be reused across reruns,
+/// across incremental discovery steps (DiscoverySession: adding a new ET
+/// row leaves every prior row's evaluations valid), and across concurrent
+/// requests over the same database (§5's filter sharing, lifted from one
+/// run to the whole serving process).
+///
+/// Implementations: EvalCache below (single-threaded), and
+/// ConcurrentEvalCache in src/service/concurrent_eval_cache.h (sharded,
+/// thread-safe, shared by DiscoveryService workers).
+class EvalCacheBase {
+ public:
+  virtual ~EvalCacheBase() = default;
 
-  size_t size() const { return outcomes.size(); }
+  /// The cached outcome for `key`, or nullopt. A found entry counts as a
+  /// hit; every call counts as a lookup.
+  virtual std::optional<bool> Lookup(const std::string& key) = 0;
+
+  virtual void Insert(const std::string& key, bool outcome) = 0;
+
+  /// Lookups served from the cache / total lookups / entries stored.
+  virtual int64_t hits() const = 0;
+  virtual int64_t lookups() const = 0;
+  virtual size_t size() const = 0;
+};
+
+/// Single-threaded EvalCacheBase backed by one unordered_map. NOT
+/// thread-safe: its reuse contract is one thread at a time, enforced in
+/// debug builds by a thread-affinity check (first use pins the owning
+/// thread). Concurrent sessions must share a ConcurrentEvalCache instead.
+class EvalCache : public EvalCacheBase {
+ public:
+  std::optional<bool> Lookup(const std::string& key) override {
+    CheckAffinity();
+    ++lookups_;
+    auto it = outcomes_.find(key);
+    if (it == outcomes_.end()) return std::nullopt;
+    ++hits_;
+    return it->second;
+  }
+
+  void Insert(const std::string& key, bool outcome) override {
+    CheckAffinity();
+    outcomes_.emplace(key, outcome);
+  }
+
+  int64_t hits() const override { return hits_; }
+  int64_t lookups() const override { return lookups_; }
+  size_t size() const override { return outcomes_.size(); }
+
+ private:
+  void CheckAffinity() const {
+#ifndef NDEBUG
+    if (owner_ == std::thread::id()) owner_ = std::this_thread::get_id();
+    QBE_CHECK_MSG(owner_ == std::this_thread::get_id(),
+                  "EvalCache used from a second thread; share a "
+                  "ConcurrentEvalCache across threads instead");
+#endif
+  }
+
+  std::unordered_map<std::string, bool> outcomes_;
+  int64_t hits_ = 0;
+  int64_t lookups_ = 0;
+#ifndef NDEBUG
+  mutable std::thread::id owner_;
+#endif
 };
 
 /// Everything a verification algorithm needs; all references must outlive
@@ -65,7 +131,12 @@ struct VerifyContext {
   uint64_t seed = 42;
   /// Optional shared outcome cache; cached answers are served without a
   /// verification (and without charging the counters).
-  EvalCache* cache = nullptr;
+  EvalCacheBase* cache = nullptr;
+  /// Optional cooperative deadline, polled between CQ-row verifications.
+  /// When it expires, remaining evaluations report failure without
+  /// executing (and without polluting the cache) and counters.aborted is
+  /// set — callers must treat the run's output as void.
+  const DeadlineToken* deadline = nullptr;
 };
 
 /// Counting wrapper around the executor: evaluates one filter / CQ-row

@@ -32,17 +32,20 @@ std::string EvalCacheKey(const Database& db, const JoinTree& tree,
 bool EvalEngine::Execute(const JoinTree& tree,
                          const std::vector<PhrasePredicate>& predicates,
                          int cost) {
+  if (ctx_.deadline != nullptr && ctx_.deadline->Expired()) {
+    // Abort point between CQ-row checks: report failure without executing
+    // and without caching — a fabricated "false" written to a shared cache
+    // would outlive this request and corrupt every other session.
+    counters_->aborted = true;
+    return false;
+  }
   if (ctx_.cache != nullptr) {
     std::string key = EvalCacheKey(ctx_.db, tree, predicates);
-    auto it = ctx_.cache->outcomes.find(key);
-    if (it != ctx_.cache->outcomes.end()) {
-      ctx_.cache->hits += 1;
-      return it->second;
-    }
+    if (std::optional<bool> cached = ctx_.cache->Lookup(key)) return *cached;
     counters_->verifications += 1;
     counters_->estimated_cost += cost;
     bool ok = ctx_.exec.Exists(tree, predicates);
-    ctx_.cache->outcomes.emplace(std::move(key), ok);
+    ctx_.cache->Insert(key, ok);
     return ok;
   }
   counters_->verifications += 1;

@@ -3,8 +3,8 @@
 
 // Umbrella header for the qbe library's public API: build a Database,
 // pose an ExampleTable, call DiscoverQueries (or drive a DiscoverySession
-// interactively). See README.md for a walkthrough and DESIGN.md for the
-// architecture.
+// interactively, or stand up a concurrent DiscoveryService). See README.md
+// for a walkthrough and DESIGN.md for the architecture.
 
 #include "core/discovery.h"       // DiscoverQueries, DiscoveryOptions
 #include "core/example_table.h"   // ExampleTable, EtCell
@@ -12,6 +12,8 @@
 #include "core/keyword_search.h"  // DiscoverByKeywords
 #include "core/session.h"         // DiscoverySession
 #include "exec/sql_render.h"      // SQL rendering of discovered queries
+#include "service/discovery_service.h"  // DiscoveryService, ServiceOptions
+#include "service/metrics.h"            // MetricsRegistry
 #include "storage/catalog_io.h"   // SaveDatabase / LoadDatabase
 #include "storage/csv.h"          // LoadRelationFromCsv
 #include "storage/database.h"     // Database, Relation, ForeignKey

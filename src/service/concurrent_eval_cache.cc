@@ -1,0 +1,53 @@
+#include "service/concurrent_eval_cache.h"
+
+#include <functional>
+
+#include "util/check.h"
+
+namespace qbe {
+
+ConcurrentEvalCache::ConcurrentEvalCache(size_t num_shards) {
+  QBE_CHECK(num_shards > 0);
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ConcurrentEvalCache::Shard& ConcurrentEvalCache::ShardFor(
+    const std::string& key) {
+  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+std::optional<bool> ConcurrentEvalCache::Lookup(const std::string& key) {
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.outcomes.find(key);
+  if (it == shard.outcomes.end()) return std::nullopt;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+void ConcurrentEvalCache::Insert(const std::string& key, bool outcome) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.outcomes.emplace(key, outcome);
+}
+
+size_t ConcurrentEvalCache::size() const {
+  size_t total = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->outcomes.size();
+  }
+  return total;
+}
+
+double ConcurrentEvalCache::HitRate() const {
+  int64_t total = lookups();
+  return total == 0 ? 0.0
+                    : static_cast<double>(hits()) / static_cast<double>(total);
+}
+
+}  // namespace qbe

@@ -1,0 +1,64 @@
+#ifndef QBE_SERVICE_CONCURRENT_EVAL_CACHE_H_
+#define QBE_SERVICE_CONCURRENT_EVAL_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/verifier.h"
+
+namespace qbe {
+
+/// Thread-safe EvalCacheBase: the outcome map is split into hash-selected
+/// shards, each behind its own mutex, so concurrent discovery requests
+/// contend only when their keys collide on a shard. One instance is shared
+/// by every worker of a DiscoveryService — a verification outcome computed
+/// for any request is served to all later requests over the same database,
+/// which lifts the paper's §5 filter sharing from one run to the whole
+/// serving process.
+///
+/// Entries are never evicted (outcomes are tiny — key string + bool — and
+/// valid as long as the database is immutable, which Executor requires
+/// anyway). hits/lookups are relaxed atomics: exact totals, no ordering
+/// guarantees against concurrent Insert.
+class ConcurrentEvalCache : public EvalCacheBase {
+ public:
+  explicit ConcurrentEvalCache(size_t num_shards = 16);
+
+  std::optional<bool> Lookup(const std::string& key) override;
+  void Insert(const std::string& key, bool outcome) override;
+
+  int64_t hits() const override {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  int64_t lookups() const override {
+    return lookups_.load(std::memory_order_relaxed);
+  }
+  size_t size() const override;
+
+  /// Fraction of lookups served from the cache; 0 before any lookup.
+  double HitRate() const;
+
+  size_t num_shards() const { return shards_.size(); }
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<std::string, bool> outcomes;
+  };
+
+  Shard& ShardFor(const std::string& key);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> lookups_{0};
+};
+
+}  // namespace qbe
+
+#endif  // QBE_SERVICE_CONCURRENT_EVAL_CACHE_H_

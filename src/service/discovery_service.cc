@@ -1,0 +1,158 @@
+#include "service/discovery_service.h"
+
+#include <utility>
+
+#include "util/deadline.h"
+#include "util/stopwatch.h"
+
+namespace qbe {
+
+const char* ToString(RequestStatus status) {
+  switch (status) {
+    case RequestStatus::kOk:
+      return "ok";
+    case RequestStatus::kRejected:
+      return "rejected";
+    case RequestStatus::kTimedOut:
+      return "timed_out";
+    case RequestStatus::kFailed:
+      return "failed";
+    case RequestStatus::kShutdown:
+      return "shutdown";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Latency buckets: 100 µs .. ~100 s.
+std::vector<double> LatencyBuckets() {
+  return ExponentialBuckets(1e-4, 2.0, 21);
+}
+
+/// Work buckets: 1 .. ~1M verifications per request.
+std::vector<double> WorkBuckets() { return ExponentialBuckets(1.0, 4.0, 11); }
+
+/// Queue-depth buckets: 1 .. 1024 requests waiting.
+std::vector<double> DepthBuckets() { return ExponentialBuckets(1.0, 2.0, 11); }
+
+}  // namespace
+
+/// Everything a request carries through the pool: the input, its deadline
+/// token (armed at admission so queue time counts against the SLA), the
+/// admission timestamp, and the promise the client's future is bound to.
+struct DiscoveryService::Request {
+  ExampleTable et;
+  DeadlineToken deadline;
+  bool has_deadline = false;
+  Stopwatch since_admission;
+  std::promise<ServiceResponse> promise;
+
+  explicit Request(ExampleTable table) : et(std::move(table)) {}
+};
+
+DiscoveryService::DiscoveryService(Database db, ServiceOptions options)
+    : db_(std::move(db)),
+      options_(std::move(options)),
+      cache_(options_.cache_shards),
+      pool_(std::make_unique<ThreadPool>(options_.num_workers,
+                                         options_.max_queue_depth)) {}
+
+DiscoveryService::~DiscoveryService() { Shutdown(); }
+
+std::future<ServiceResponse> DiscoveryService::Submit(
+    ExampleTable et, std::optional<std::chrono::milliseconds> timeout) {
+  auto request = std::make_shared<Request>(std::move(et));
+  std::future<ServiceResponse> future = request->promise.get_future();
+  metrics_.GetCounter("requests_received").Increment();
+
+  auto finish_now = [&](RequestStatus status) {
+    ServiceResponse response;
+    response.status = status;
+    request->promise.set_value(std::move(response));
+    return std::move(future);
+  };
+
+  if (!accepting_.load(std::memory_order_acquire)) {
+    metrics_.GetCounter("requests_shutdown").Increment();
+    return finish_now(RequestStatus::kShutdown);
+  }
+
+  std::chrono::milliseconds budget =
+      timeout.has_value() ? *timeout : options_.default_timeout;
+  if (budget.count() != 0) {
+    request->deadline.SetTimeout(budget);
+    request->has_deadline = true;
+  }
+
+  bool admitted =
+      pool_->TrySubmit([this, request] { Run(request); });
+  if (!admitted) {
+    // Queue full (or the pool began stopping underneath us): fast-fail.
+    metrics_.GetCounter("requests_rejected").Increment();
+    return finish_now(accepting_.load(std::memory_order_acquire)
+                          ? RequestStatus::kRejected
+                          : RequestStatus::kShutdown);
+  }
+  metrics_.GetCounter("requests_admitted").Increment();
+  metrics_.GetHistogram("queue_depth_at_admission", DepthBuckets())
+      .Observe(static_cast<double>(pool_->QueueDepth()));
+  return future;
+}
+
+ServiceResponse DiscoveryService::Discover(
+    const ExampleTable& et, std::optional<std::chrono::milliseconds> timeout) {
+  return Submit(et, timeout).get();
+}
+
+void DiscoveryService::Run(const std::shared_ptr<Request>& request) {
+  double queued = request->since_admission.ElapsedSeconds();
+  metrics_.GetHistogram("queue_seconds", LatencyBuckets()).Observe(queued);
+  if (options_.on_request_start) options_.on_request_start();
+
+  DiscoveryOptions options = options_.discovery;
+  options.cache = &cache_;
+  options.deadline = request->has_deadline ? &request->deadline : nullptr;
+
+  DiscoveryResult result = DiscoverQueries(db_, request->et, options);
+
+  ServiceResponse response;
+  response.queue_seconds = queued;
+  response.latency_seconds = request->since_admission.ElapsedSeconds();
+  if (result.timed_out) {
+    response.status = RequestStatus::kTimedOut;
+    metrics_.GetCounter("requests_timed_out").Increment();
+  } else if (!result.ok()) {
+    response.status = RequestStatus::kFailed;
+    metrics_.GetCounter("requests_failed").Increment();
+  } else {
+    response.status = RequestStatus::kOk;
+    metrics_.GetCounter("requests_completed").Increment();
+    metrics_.GetCounter("queries_discovered")
+        .Increment(static_cast<int64_t>(result.queries.size()));
+    metrics_.GetHistogram("verifications_per_request", WorkBuckets())
+        .Observe(static_cast<double>(result.counters.verifications));
+  }
+  metrics_.GetHistogram("latency_seconds", LatencyBuckets())
+      .Observe(response.latency_seconds);
+  response.result = std::move(result);
+  request->promise.set_value(std::move(response));
+}
+
+void DiscoveryService::Shutdown() {
+  accepting_.store(false, std::memory_order_release);
+  pool_->Shutdown();  // drains queued + in-flight; their promises resolve
+}
+
+std::string DiscoveryService::MetricsDump() {
+  metrics_.SetGauge("eval_cache_size", static_cast<double>(cache_.size()));
+  metrics_.SetGauge("eval_cache_hit_rate", cache_.HitRate());
+  metrics_.SetGauge("eval_cache_lookups",
+                    static_cast<double>(cache_.lookups()));
+  metrics_.SetGauge("queue_depth", static_cast<double>(pool_->QueueDepth()));
+  metrics_.SetGauge("worker_threads",
+                    static_cast<double>(pool_->num_threads()));
+  return metrics_.Dump();
+}
+
+}  // namespace qbe

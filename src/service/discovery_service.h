@@ -1,0 +1,124 @@
+#ifndef QBE_SERVICE_DISCOVERY_SERVICE_H_
+#define QBE_SERVICE_DISCOVERY_SERVICE_H_
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <future>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/discovery.h"
+#include "core/example_table.h"
+#include "service/concurrent_eval_cache.h"
+#include "service/metrics.h"
+#include "storage/database.h"
+#include "util/thread_pool.h"
+
+namespace qbe {
+
+/// How a request left the service.
+enum class RequestStatus {
+  kOk,        // discovery ran to completion
+  kRejected,  // fast-fail: the admission queue was full
+  kTimedOut,  // the per-request deadline expired mid-verification
+  kFailed,    // discovery refused the input (malformed ET, ...)
+  kShutdown,  // submitted after Shutdown() began
+};
+
+const char* ToString(RequestStatus status);
+
+struct ServiceResponse {
+  RequestStatus status = RequestStatus::kOk;
+  /// Meaningful only for kOk (and kFailed/kTimedOut, whose `error` is set).
+  DiscoveryResult result;
+  /// Submit-to-completion wall time (includes queueing); 0 for rejects.
+  double latency_seconds = 0.0;
+  /// Time spent waiting in the admission queue.
+  double queue_seconds = 0.0;
+
+  bool ok() const { return status == RequestStatus::kOk; }
+};
+
+struct ServiceOptions {
+  /// Worker threads running discoveries.
+  int num_workers = 4;
+  /// Admission bound: requests beyond this many queued are rejected
+  /// immediately (fast-fail), never buffered unboundedly.
+  size_t max_queue_depth = 32;
+  /// Per-request deadline applied from admission time; zero = none.
+  /// Overridable per request in Submit.
+  std::chrono::milliseconds default_timeout{0};
+  /// Shards of the shared verification-outcome cache.
+  size_t cache_shards = 16;
+  /// Base discovery options for every request; `cache` and `deadline` are
+  /// overwritten by the service.
+  DiscoveryOptions discovery;
+  /// Test seam: runs on the worker thread right before a request's
+  /// discovery starts (e.g. a latch that holds the worker busy so
+  /// admission-control tests can fill the queue deterministically).
+  std::function<void()> on_request_start;
+};
+
+/// Concurrent discovery server: owns the (immutable, indexed) database, a
+/// fixed worker pool, a bounded admission queue, a sharded verification
+/// cache shared by all requests, and a metrics registry. This is the
+/// architectural seam between the single-threaded discovery kernel and a
+/// network frontend: Submit is the whole request lifecycle — admission
+/// (reject when the queue is full), queueing, deadline-bounded execution,
+/// and a future carrying the response.
+///
+/// Thread safety: Submit/Discover may be called from any number of client
+/// threads. Shutdown drains queued and in-flight requests (their futures
+/// all resolve) and is idempotent; requests submitted during or after
+/// shutdown resolve immediately with kShutdown.
+class DiscoveryService {
+ public:
+  explicit DiscoveryService(Database db, ServiceOptions options = {});
+  ~DiscoveryService();
+
+  DiscoveryService(const DiscoveryService&) = delete;
+  DiscoveryService& operator=(const DiscoveryService&) = delete;
+
+  /// Submits one discovery request. `timeout` overrides the service-wide
+  /// default (zero = no deadline). The deadline clock starts now, at
+  /// admission — queue time counts against it, as an end-to-end SLA would.
+  std::future<ServiceResponse> Submit(
+      ExampleTable et,
+      std::optional<std::chrono::milliseconds> timeout = std::nullopt);
+
+  /// Blocking convenience wrapper around Submit.
+  ServiceResponse Discover(
+      const ExampleTable& et,
+      std::optional<std::chrono::milliseconds> timeout = std::nullopt);
+
+  /// Stops admitting, drains queued + in-flight requests, joins workers.
+  void Shutdown();
+
+  const Database& db() const { return db_; }
+  ConcurrentEvalCache& cache() { return cache_; }
+  MetricsRegistry& metrics() { return metrics_; }
+
+  /// Metrics dump with cache gauges (size, hit rate) refreshed; the text
+  /// the qbe_serve harness prints.
+  std::string MetricsDump();
+
+ private:
+  struct Request;
+
+  void Run(const std::shared_ptr<Request>& request);
+
+  Database db_;
+  ServiceOptions options_;
+  ConcurrentEvalCache cache_;
+  MetricsRegistry metrics_;
+  std::atomic<bool> accepting_{true};
+  // Declared last so its destructor (which joins workers running Run) fires
+  // first, while the members Run touches are still alive.
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace qbe
+
+#endif  // QBE_SERVICE_DISCOVERY_SERVICE_H_

@@ -1,0 +1,116 @@
+#include "service/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace qbe {
+namespace {
+
+TEST(CounterTest, ConcurrentIncrementsAreExact) {
+  Counter counter;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < 10000; ++i) counter.Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter.Value(), 80000);
+}
+
+TEST(HistogramTest, BucketsObservationsByUpperBound) {
+  Histogram histogram({1.0, 10.0, 100.0});
+  histogram.Observe(0.5);    // <= 1
+  histogram.Observe(1.0);    // <= 1 (bounds are inclusive)
+  histogram.Observe(5.0);    // <= 10
+  histogram.Observe(1000.0); // overflow
+  std::vector<int64_t> counts = histogram.BucketCounts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2);
+  EXPECT_EQ(counts[1], 1);
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_EQ(counts[3], 1);
+  EXPECT_EQ(histogram.TotalCount(), 4);
+  EXPECT_DOUBLE_EQ(histogram.Sum(), 1006.5);
+}
+
+TEST(HistogramTest, QuantilesAtBucketResolution) {
+  Histogram histogram({1.0, 2.0, 4.0, 8.0});
+  for (int i = 0; i < 90; ++i) histogram.Observe(0.5);
+  for (int i = 0; i < 10; ++i) histogram.Observe(3.0);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.89), 1.0);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.99), 4.0);
+  Histogram empty({1.0});
+  EXPECT_DOUBLE_EQ(empty.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, ConcurrentObservationsAreExact) {
+  Histogram histogram(ExponentialBuckets(1e-3, 2.0, 10));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&histogram] {
+      for (int i = 0; i < 5000; ++i) histogram.Observe(0.01);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(histogram.TotalCount(), 40000);
+}
+
+TEST(ExponentialBucketsTest, GeometricSeries) {
+  std::vector<double> bounds = ExponentialBuckets(1.0, 10.0, 4);
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_DOUBLE_EQ(bounds[0], 1.0);
+  EXPECT_DOUBLE_EQ(bounds[3], 1000.0);
+}
+
+TEST(MetricsRegistryTest, GetReturnsSameMetricForSameName) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("requests");
+  Counter& b = registry.GetCounter("requests");
+  EXPECT_EQ(&a, &b);
+  a.Increment(3);
+  EXPECT_EQ(b.Value(), 3);
+  Histogram& h1 = registry.GetHistogram("latency", {1.0, 2.0});
+  Histogram& h2 = registry.GetHistogram("latency", {99.0});
+  EXPECT_EQ(&h1, &h2);  // first caller fixed the layout
+  EXPECT_EQ(h2.bounds().size(), 2u);
+}
+
+TEST(MetricsRegistryTest, DumpIsSortedAndTyped) {
+  MetricsRegistry registry;
+  registry.GetCounter("zebra").Increment(7);
+  registry.GetCounter("alpha").Increment(1);
+  registry.SetGauge("mid_gauge", 0.5);
+  registry.GetHistogram("beta_hist", {1.0}).Observe(0.2);
+  std::string dump = registry.Dump();
+  EXPECT_NE(dump.find("counter   alpha 1"), std::string::npos);
+  EXPECT_NE(dump.find("counter   zebra 7"), std::string::npos);
+  EXPECT_NE(dump.find("gauge     mid_gauge 0.5"), std::string::npos);
+  EXPECT_NE(dump.find("histogram beta_hist count=1"), std::string::npos);
+  // Name-sorted regardless of metric kind.
+  EXPECT_LT(dump.find("alpha"), dump.find("beta_hist"));
+  EXPECT_LT(dump.find("beta_hist"), dump.find("mid_gauge"));
+  EXPECT_LT(dump.find("mid_gauge"), dump.find("zebra"));
+}
+
+TEST(MetricsRegistryTest, ConcurrentRegistrationIsSafe) {
+  MetricsRegistry registry;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&registry] {
+      for (int i = 0; i < 1000; ++i) {
+        registry.GetCounter("shared").Increment();
+        registry.GetHistogram("shared_hist", {1.0}).Observe(0.1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(registry.GetCounter("shared").Value(), 8000);
+  EXPECT_EQ(registry.GetHistogram("shared_hist", {1.0}).TotalCount(), 8000);
+}
+
+}  // namespace
+}  // namespace qbe

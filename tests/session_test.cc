@@ -68,6 +68,37 @@ TEST_F(SessionTest, RerunIsFullyCached) {
   EXPECT_EQ(session.total_verifications(), once);
 }
 
+TEST_F(SessionTest, RemoveThenAddDifferentRowServesFreshOutcomes) {
+  // Regression guard for the cache's reuse contract: outcomes are keyed by
+  // (join tree, predicate values), never by row position — so replacing
+  // the last row with a different one must not serve the removed row's
+  // outcomes for the new row, while still reusing the surviving rows'.
+  DiscoverySession session(db_);
+  session.AddRow({"Mike", "ThinkPad", "Office"});
+  EXPECT_FALSE(session.Discover().queries.empty());  // caches Mike's outcomes
+  session.AddRow({"Zelda", "", ""});  // matches nothing
+  EXPECT_TRUE(session.Discover().queries.empty());
+
+  session.RemoveLastRow();
+  session.AddRow({"Mary", "iPad", ""});
+  DiscoveryResult refined = session.Discover();
+  // "Zelda failed" must not leak into Mary's verifications...
+  EXPECT_FALSE(refined.queries.empty());
+
+  // ...and the answer is exactly the cacheless batch answer for the
+  // current table.
+  ExampleTable current = ExampleTable::WithColumns(3);
+  current.AddRow({"Mike", "ThinkPad", "Office"});
+  current.AddRow({"Mary", "iPad", ""});
+  DiscoveryResult batch = DiscoverQueries(db_, current);
+  ASSERT_EQ(refined.queries.size(), batch.queries.size());
+  for (size_t i = 0; i < batch.queries.size(); ++i) {
+    EXPECT_EQ(refined.queries[i].sql, batch.queries[i].sql);
+  }
+  // Mike's outcomes were reused across the row swap.
+  EXPECT_GT(session.cache_hits(), 0);
+}
+
 TEST_F(SessionTest, RemoveLastRowUndoes) {
   DiscoverySession session(db_);
   session.AddRow({"Mike", "ThinkPad", "Office"});

@@ -1,0 +1,120 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qbe {
+namespace {
+
+/// Reusable latch: tasks block in Wait() until the test calls Release(),
+/// letting tests pin workers deterministically.
+class Gate {
+ public:
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return open_; });
+  }
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool open_ = false;
+};
+
+TEST(ThreadPoolTest, RunsEveryTask) {
+  std::atomic<int> sum{0};
+  {
+    ThreadPool pool(4, 128);
+    for (int i = 1; i <= 100; ++i) {
+      ASSERT_TRUE(pool.Submit([&sum, i] {
+        sum.fetch_add(i, std::memory_order_relaxed);
+      }));
+    }
+  }  // destructor drains
+  EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(ThreadPoolTest, TrySubmitFastFailsWhenFull) {
+  Gate gate;
+  ThreadPool pool(1, 2);
+  // Pin the single worker, then fill the 2-slot queue.
+  ASSERT_TRUE(pool.TrySubmit([&gate] { gate.Wait(); }));
+  // The pinned task may still be in the queue; poll until the worker has
+  // dequeued it so exactly 2 slots are free.
+  while (pool.QueueDepth() > 0) std::this_thread::yield();
+  ASSERT_TRUE(pool.TrySubmit([] {}));
+  ASSERT_TRUE(pool.TrySubmit([] {}));
+  // Queue now holds 2 tasks: full.
+  EXPECT_FALSE(pool.TrySubmit([] {}));
+  gate.Release();
+  pool.Shutdown();
+  EXPECT_EQ(pool.QueueDepth(), 0u);
+}
+
+TEST(ThreadPoolTest, SubmitBlocksForBackPressure) {
+  Gate gate;
+  std::atomic<int> ran{0};
+  ThreadPool pool(1, 1);
+  ASSERT_TRUE(pool.TrySubmit([&gate] { gate.Wait(); }));
+  while (pool.QueueDepth() > 0) std::this_thread::yield();
+  ASSERT_TRUE(pool.TrySubmit([&ran] { ran.fetch_add(1); }));  // fills queue
+  // A blocking Submit from another thread must wait, then succeed once the
+  // gate opens and the queue drains.
+  std::thread submitter([&] {
+    EXPECT_TRUE(pool.Submit([&ran] { ran.fetch_add(1); }));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(ran.load(), 0);  // still gated, submitter still blocked
+  gate.Release();
+  submitter.join();
+  pool.Shutdown();
+  EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedTasks) {
+  Gate gate;
+  std::atomic<int> ran{0};
+  ThreadPool pool(1, 16);
+  ASSERT_TRUE(pool.TrySubmit([&gate] { gate.Wait(); }));
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(pool.TrySubmit([&ran] { ran.fetch_add(1); }));
+  }
+  gate.Release();
+  pool.Shutdown();  // must run all 10 queued tasks before joining
+  EXPECT_EQ(ran.load(), 10);
+  // After shutdown both submission paths refuse.
+  EXPECT_FALSE(pool.TrySubmit([] {}));
+  EXPECT_FALSE(pool.Submit([] {}));
+}
+
+TEST(ThreadPoolTest, ManyConcurrentSubmitters) {
+  std::atomic<int> ran{0};
+  ThreadPool pool(4, 8);
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 8; ++t) {
+    submitters.emplace_back([&] {
+      for (int i = 0; i < 50; ++i) {
+        ASSERT_TRUE(pool.Submit([&ran] { ran.fetch_add(1); }));
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  pool.Shutdown();
+  EXPECT_EQ(ran.load(), 400);
+}
+
+}  // namespace
+}  // namespace qbe

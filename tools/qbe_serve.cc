@@ -1,0 +1,235 @@
+// qbe_serve — batch driver for the concurrent DiscoveryService: replays a
+// workload of example-table requests over N client threads against one
+// shared service and prints the metrics dump.
+//
+//   qbe_serve [--dataset retailer|imdb] [--scale S]
+//             [--requests FILE] [--repeat R]
+//             [--clients N] [--workers N] [--queue-depth N]
+//             [--timeout-ms T] [--algorithm verifyall|simpleprune|filter|weave]
+//
+// Request file format: one request per line; rows separated by ';', cells
+// by '|' (same cell syntax as qbe_cli --row). Example line for Figure 2:
+//
+//   Mike|ThinkPad|Office;Mary|iPad|;Bob||Dropbox
+//
+// Without --requests, a built-in workload is used: the Figure 2 ET and its
+// sub-tables for the retailer, EtSource-sampled tables for imdb.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <future>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/example_table.h"
+#include "datagen/et_gen.h"
+#include "datagen/imdb_like.h"
+#include "datagen/retailer.h"
+#include "exec/executor.h"
+#include "schema/schema_graph.h"
+#include "service/discovery_service.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace {
+
+void PrintUsage() {
+  std::fprintf(
+      stderr,
+      "usage: qbe_serve [--dataset retailer|imdb] [--scale S]\n"
+      "                 [--requests FILE] [--repeat R]\n"
+      "                 [--clients N] [--workers N] [--queue-depth N]\n"
+      "                 [--timeout-ms T]\n"
+      "                 [--algorithm verifyall|simpleprune|filter|weave]\n");
+}
+
+std::optional<qbe::Algorithm> ParseAlgorithm(const std::string& name) {
+  if (name == "verifyall") return qbe::Algorithm::kVerifyAll;
+  if (name == "simpleprune") return qbe::Algorithm::kSimplePrune;
+  if (name == "filter") return qbe::Algorithm::kFilter;
+  if (name == "filterexact") return qbe::Algorithm::kFilterExact;
+  if (name == "weave") return qbe::Algorithm::kWeave;
+  return std::nullopt;
+}
+
+/// "Mike|ThinkPad|Office;Mary|iPad|" -> ExampleTable; nullopt on a ragged
+/// or empty line.
+std::optional<qbe::ExampleTable> ParseRequestLine(const std::string& line) {
+  std::vector<std::vector<std::string>> rows;
+  for (const std::string& row_text : qbe::SplitString(line, ';')) {
+    rows.push_back(qbe::SplitString(row_text, '|'));
+  }
+  if (rows.empty() || rows[0].empty()) return std::nullopt;
+  size_t width = rows[0].size();
+  qbe::ExampleTable et =
+      qbe::ExampleTable::WithColumns(static_cast<int>(width));
+  for (std::vector<std::string>& row : rows) {
+    row.resize(width);
+    et.AddRow(row);
+  }
+  return et;
+}
+
+std::vector<qbe::ExampleTable> BuiltinRetailerWorkload() {
+  std::vector<qbe::ExampleTable> requests;
+  requests.push_back(qbe::MakeFigure2ExampleTable());
+  for (const char* line :
+       {"Mike|ThinkPad|Office;Mary|iPad|", "Mike|ThinkPad|Office", "Mike",
+        "Mary|iPad", "Bob||Dropbox;Mike|ThinkPad|Office"}) {
+    requests.push_back(*ParseRequestLine(line));
+  }
+  return requests;
+}
+
+std::vector<qbe::ExampleTable> BuiltinImdbWorkload(const qbe::Database& db) {
+  qbe::SchemaGraph graph(db);
+  qbe::Executor exec(db, graph);
+  qbe::EtSource source(db, graph, exec, /*seed=*/7);
+  qbe::EtParams params;
+  params.m = 2;
+  params.n = 2;
+  params.s = 0.0;
+  return source.SampleMany(params, /*count=*/8, /*seed=*/11);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dataset = "retailer";
+  std::string requests_file;
+  double scale = 0.1;
+  int repeat = 4;
+  int clients = 8;
+  qbe::ServiceOptions service_options;
+  long long timeout_ms = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--dataset") {
+      if (const char* v = next()) dataset = v;
+    } else if (arg == "--scale") {
+      if (const char* v = next()) scale = std::atof(v);
+    } else if (arg == "--requests") {
+      if (const char* v = next()) requests_file = v;
+    } else if (arg == "--repeat") {
+      if (const char* v = next()) repeat = std::atoi(v);
+    } else if (arg == "--clients") {
+      if (const char* v = next()) clients = std::atoi(v);
+    } else if (arg == "--workers") {
+      if (const char* v = next()) service_options.num_workers = std::atoi(v);
+    } else if (arg == "--queue-depth") {
+      if (const char* v = next()) {
+        service_options.max_queue_depth =
+            static_cast<size_t>(std::atoll(v));
+      }
+    } else if (arg == "--timeout-ms") {
+      if (const char* v = next()) timeout_ms = std::atoll(v);
+    } else if (arg == "--algorithm") {
+      const char* v = next();
+      std::optional<qbe::Algorithm> algo =
+          v ? ParseAlgorithm(v) : std::nullopt;
+      if (!algo.has_value()) {
+        std::fprintf(stderr, "unknown algorithm\n");
+        return 2;
+      }
+      service_options.discovery.algorithm = *algo;
+    } else {
+      PrintUsage();
+      return 2;
+    }
+  }
+  if (clients <= 0 || repeat <= 0) {
+    PrintUsage();
+    return 2;
+  }
+  service_options.default_timeout = std::chrono::milliseconds(timeout_ms);
+
+  if (dataset != "retailer" && dataset != "imdb") {
+    std::fprintf(stderr, "unknown dataset %s\n", dataset.c_str());
+    return 2;
+  }
+  qbe::Database db = dataset == "retailer"
+                         ? qbe::MakeRetailerDatabase()
+                         : qbe::MakeImdbLikeDatabase({scale, 20140622});
+  std::printf("dataset=%s: %d relations, %zu foreign keys\n", dataset.c_str(),
+              db.num_relations(), db.foreign_keys().size());
+
+  std::vector<qbe::ExampleTable> requests;
+  if (!requests_file.empty()) {
+    std::ifstream in(requests_file);
+    if (!in) {
+      std::fprintf(stderr, "failed to read %s\n", requests_file.c_str());
+      return 1;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      std::optional<qbe::ExampleTable> et = ParseRequestLine(line);
+      if (!et.has_value()) {
+        std::fprintf(stderr, "bad request line: %s\n", line.c_str());
+        return 1;
+      }
+      requests.push_back(std::move(*et));
+    }
+  } else if (dataset == "retailer") {
+    requests = BuiltinRetailerWorkload();
+  } else {
+    requests = BuiltinImdbWorkload(db);
+  }
+  if (requests.empty()) {
+    std::fprintf(stderr, "no requests to replay\n");
+    return 1;
+  }
+
+  qbe::DiscoveryService service(std::move(db), service_options);
+
+  // Each client replays the whole request list `repeat` times, offset by
+  // its id so clients hit different requests at the same instant.
+  qbe::Stopwatch wall;
+  std::vector<std::thread> client_threads;
+  std::atomic<long long> ok{0}, rejected{0}, timed_out{0}, other{0};
+  for (int c = 0; c < clients; ++c) {
+    client_threads.emplace_back([&, c] {
+      for (int r = 0; r < repeat; ++r) {
+        for (size_t q = 0; q < requests.size(); ++q) {
+          size_t pick = (q + static_cast<size_t>(c)) % requests.size();
+          qbe::ServiceResponse response = service.Discover(requests[pick]);
+          switch (response.status) {
+            case qbe::RequestStatus::kOk:
+              ok.fetch_add(1, std::memory_order_relaxed);
+              break;
+            case qbe::RequestStatus::kRejected:
+              rejected.fetch_add(1, std::memory_order_relaxed);
+              break;
+            case qbe::RequestStatus::kTimedOut:
+              timed_out.fetch_add(1, std::memory_order_relaxed);
+              break;
+            default:
+              other.fetch_add(1, std::memory_order_relaxed);
+              break;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : client_threads) t.join();
+  double seconds = wall.ElapsedSeconds();
+  service.Shutdown();
+
+  long long total = ok + rejected + timed_out + other;
+  std::printf(
+      "replayed %lld requests from %d clients in %.3fs (%.1f req/s): "
+      "%lld ok, %lld rejected, %lld timed out, %lld other\n",
+      total, clients, seconds,
+      seconds > 0 ? static_cast<double>(total) / seconds : 0.0,
+      static_cast<long long>(ok), static_cast<long long>(rejected),
+      static_cast<long long>(timed_out), static_cast<long long>(other));
+  std::printf("%s", service.MetricsDump().c_str());
+  return 0;
+}
