@@ -2,7 +2,9 @@
 // (a) number of verifications and (b) execution time for VERIFYALL,
 // SIMPLEPRUNE and FILTER. Expected shape: FILTER needs the fewest
 // verifications and is robust to m; VERIFYALL degrades for small m (more
-// candidates); SIMPLEPRUNE is U-shaped.
+// candidates); SIMPLEPRUNE is U-shaped. The parallel-engine columns
+// (VerifyAll(8t), Filter(8t); panel (d) threads / memo hit rate) chart the
+// batched engine of DESIGN.md §9 against the serial baselines.
 
 #include "harness/experiment.h"
 
@@ -13,7 +15,9 @@ int main(int argc, char** argv) {
       qbe::MakeBundle(qbe::DatasetKind::kImdb, args.scale, args.seed);
   std::vector<qbe::AlgoKind> algos = {qbe::AlgoKind::kVerifyAll,
                                       qbe::AlgoKind::kSimplePrune,
-                                      qbe::AlgoKind::kFilter};
+                                      qbe::AlgoKind::kFilter,
+                                      qbe::AlgoKind::kVerifyAllPar,
+                                      qbe::AlgoKind::kFilterPar};
   std::vector<std::string> labels;
   std::vector<qbe::ExperimentPoint> points;
   for (int m = 2; m <= 6; ++m) {

@@ -110,7 +110,8 @@ DiscoveryResult DiscoverQueries(const Database& db, const ExampleTable& et,
 
   VerifyContext ctx{db,           graph,         exec,
                     et,           candidates,    options.seed,
-                    options.cache, options.deadline};
+                    options.cache, options.deadline,
+                    options.verify, options.verify_pool};
 
   std::vector<int> matched(candidates.size(), 0);
   std::vector<bool> keep(candidates.size(), false);

@@ -59,6 +59,17 @@ struct DiscoveryOptions {
   /// in DiscoveryService). Polled between CQ-row verifications; an expired
   /// run returns DiscoveryResult::timed_out with no queries. Not owned.
   const DeadlineToken* deadline = nullptr;
+
+  /// Intra-request parallel + batched verification knobs (threads,
+  /// batch_size, subtree memo). threads > 1 requires `cache` to be null or
+  /// thread-safe. Defaults keep the serial reference path.
+  VerifyOptions verify;
+
+  /// Optional shared worker pool for verify.threads > 1 (not owned).
+  /// DiscoveryService points every request at its verify pool so requests
+  /// borrow idle workers; when null, each request spins up a transient
+  /// pool.
+  ThreadPool* verify_pool = nullptr;
 };
 
 /// One discovered query: the minimal valid project-join query, its SQL

@@ -1,0 +1,73 @@
+#include "core/parallel_verify.h"
+
+#include <condition_variable>
+#include <mutex>
+
+namespace qbe {
+namespace {
+
+/// Completion latch for one ParallelFor round.
+class WaitGroup {
+ public:
+  explicit WaitGroup(int count) : remaining_(count) {}
+
+  void Done() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--remaining_ == 0) cv_.notify_all();
+  }
+
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return remaining_ == 0; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int remaining_;
+};
+
+}  // namespace
+
+VerifyPoolHandle::VerifyPoolHandle(const VerifyContext& ctx) {
+  threads_ = ctx.verify.threads;
+  if (threads_ <= 1) {
+    threads_ = 1;
+    return;  // serial path
+  }
+  if (ctx.pool != nullptr) {
+    pool_ = ctx.pool;
+    return;
+  }
+  // Transient per-call pool. The queue is sized so a whole fan-out round
+  // enqueues without blocking the submitting thread against its own tasks
+  // (Submit blocks when full, but workers drain independently, so this is
+  // back-pressure, not deadlock).
+  owned_ = std::make_unique<ThreadPool>(threads_, /*max_queue_depth=*/1024);
+  pool_ = owned_.get();
+}
+
+void ParallelFor(ThreadPool* pool, int n,
+                 const std::function<void(int)>& fn) {
+  if (n <= 0) return;
+  if (pool == nullptr || n == 1) {
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  WaitGroup done(n);
+  for (int i = 0; i < n; ++i) {
+    bool submitted = pool->Submit([&fn, &done, i] {
+      fn(i);
+      done.Done();
+    });
+    if (!submitted) {
+      // Pool is shutting down (service drain): degrade to inline execution
+      // so the round still completes deterministically.
+      fn(i);
+      done.Done();
+    }
+  }
+  done.Wait();
+}
+
+}  // namespace qbe

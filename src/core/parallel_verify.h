@@ -1,0 +1,41 @@
+#ifndef QBE_CORE_PARALLEL_VERIFY_H_
+#define QBE_CORE_PARALLEL_VERIFY_H_
+
+#include <functional>
+#include <memory>
+
+#include "core/verifier.h"
+#include "util/thread_pool.h"
+
+namespace qbe {
+
+/// Resolves where a Verify call's parallelism comes from. threads <= 1 →
+/// serial reference path (pool() is null). Otherwise the call borrows
+/// VerifyContext::pool — DiscoveryService's shared verify pool, so
+/// concurrent requests compete for the same idle workers — or, when none is
+/// provided, owns a transient pool for the duration of the call.
+class VerifyPoolHandle {
+ public:
+  explicit VerifyPoolHandle(const VerifyContext& ctx);
+
+  /// Null when the verifier should take the serial path.
+  ThreadPool* pool() const { return pool_; }
+  int threads() const { return threads_; }
+
+ private:
+  std::unique_ptr<ThreadPool> owned_;
+  ThreadPool* pool_ = nullptr;
+  int threads_ = 1;
+};
+
+/// Runs fn(0), ..., fn(n-1) to completion, fanning the calls out over
+/// `pool` (all inline on the calling thread when `pool` is null). Blocks
+/// until every call returned. Tasks must confine their writes to disjoint,
+/// preallocated slots indexed by their argument; the caller merges slots in
+/// canonical index order afterwards — that discipline is what makes the
+/// parallel engine's output independent of the thread count.
+void ParallelFor(ThreadPool* pool, int n, const std::function<void(int)>& fn);
+
+}  // namespace qbe
+
+#endif  // QBE_CORE_PARALLEL_VERIFY_H_

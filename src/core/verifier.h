@@ -19,10 +19,39 @@
 
 namespace qbe {
 
+class ThreadPool;
+
 /// Row orderings for the baseline verifiers (§4.1): as given, uniformly
 /// shuffled, or densest row first (candidates are likelier to fail on
 /// densely populated rows, enabling early elimination).
 enum class RowOrder { kGiven, kRandom, kDenseFirst };
+
+/// Knobs of the intra-request parallel + batched verification engine.
+///
+/// Determinism contract (see DESIGN.md §9): for a fixed batch_size the
+/// verifier's outputs — the validity vector, the sequence of evaluated
+/// existence queries, and every counter except elapsed time — are identical
+/// for every thread count, including threads == 1. Batch size may change
+/// *which* evaluations are spent (a batched greedy selects without seeing
+/// same-batch outcomes) but never the resulting valid set, which is the
+/// paper's invariant across all algorithms anyway.
+struct VerifyOptions {
+  /// Worker threads fanning out CQ-row / filter evaluations. 1 = the serial
+  /// reference path. Values > 1 require VerifyContext::cache to be null or
+  /// a thread-safe implementation (ConcurrentEvalCache).
+  int threads = 1;
+
+  /// Independent evaluations grouped per parallel round: candidates per
+  /// task for VERIFYALL/SIMPLEPRUNE, greedy selections per round for
+  /// FILTER.
+  int batch_size = 8;
+
+  /// Shares reduced predicate-free join subtrees across the candidates of
+  /// one request (they are subtrees of one schema graph and overlap
+  /// heavily). Purely an execution-cost optimization; outcomes and
+  /// verification counts are unaffected.
+  bool subtree_memo = true;
+};
 
 /// Performance accounting shared by all verification algorithms; these are
 /// the metrics of §6.1 (number of verifications, total estimated cost = sum
@@ -38,6 +67,12 @@ struct VerificationCounters {
   /// trustworthy (remaining evaluations were reported as failures without
   /// executing) and the caller must discard the results.
   bool aborted = false;
+  /// Shared join-subtree memo traffic (Executor::SubtreeMemo): lookups and
+  /// hits for reduced predicate-free subtrees reused across candidates.
+  int64_t subtree_memo_hits = 0;
+  int64_t subtree_memo_lookups = 0;
+  /// Worker threads the verifier actually used (1 = serial path).
+  int threads_used = 1;
 
   void Add(const VerificationCounters& other) {
     verifications += other.verifications;
@@ -48,6 +83,16 @@ struct VerificationCounters {
       peak_memory_bytes = other.peak_memory_bytes;
     }
     aborted = aborted || other.aborted;
+    subtree_memo_hits += other.subtree_memo_hits;
+    subtree_memo_lookups += other.subtree_memo_lookups;
+    if (other.threads_used > threads_used) threads_used = other.threads_used;
+  }
+
+  double SubtreeMemoHitRate() const {
+    return subtree_memo_lookups == 0
+               ? 0.0
+               : static_cast<double>(subtree_memo_hits) /
+                     static_cast<double>(subtree_memo_lookups);
   }
 };
 
@@ -137,6 +182,12 @@ struct VerifyContext {
   /// executing (and without polluting the cache) and counters.aborted is
   /// set — callers must treat the run's output as void.
   const DeadlineToken* deadline = nullptr;
+  /// Parallel/batched engine knobs; defaults keep the serial path.
+  VerifyOptions verify;
+  /// Optional shared worker pool for verify.threads > 1 (not owned; e.g.
+  /// DiscoveryService's verify pool, so requests borrow idle workers).
+  /// Null with threads > 1 makes each Verify call spin up a transient pool.
+  ThreadPool* pool = nullptr;
 };
 
 /// Counting wrapper around the executor: evaluates one filter / CQ-row
@@ -147,8 +198,12 @@ struct VerifyContext {
 /// answer from cache.
 class EvalEngine {
  public:
-  EvalEngine(const VerifyContext& ctx, VerificationCounters* counters)
-      : ctx_(ctx), counters_(counters) {}
+  /// `memo` optionally shares reduced predicate-free join subtrees with
+  /// other engines of the same request (thread-safe; see
+  /// Executor::SubtreeMemo). Not owned; may be null.
+  EvalEngine(const VerifyContext& ctx, VerificationCounters* counters,
+             Executor::SubtreeMemo* memo = nullptr)
+      : ctx_(ctx), counters_(counters), memo_(memo) {}
 
   /// Evaluates `filter` (Definition 6). Returns true on success.
   bool EvaluateFilter(const Filter& filter);
@@ -163,6 +218,7 @@ class EvalEngine {
 
   const VerifyContext& ctx_;
   VerificationCounters* counters_;
+  Executor::SubtreeMemo* memo_ = nullptr;
   std::unordered_map<JoinTree, bool, JoinTreeHash> empty_join_cache_;
 };
 

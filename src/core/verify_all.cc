@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "core/parallel_verify.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
 
@@ -44,13 +45,13 @@ bool EvalEngine::Execute(const JoinTree& tree,
     if (std::optional<bool> cached = ctx_.cache->Lookup(key)) return *cached;
     counters_->verifications += 1;
     counters_->estimated_cost += cost;
-    bool ok = ctx_.exec.Exists(tree, predicates);
+    bool ok = ctx_.exec.Exists(tree, predicates, memo_);
     ctx_.cache->Insert(key, ok);
     return ok;
   }
   counters_->verifications += 1;
   counters_->estimated_cost += cost;
-  return ctx_.exec.Exists(tree, predicates);
+  return ctx_.exec.Exists(tree, predicates, memo_);
 }
 
 bool EvalEngine::EvaluateFilter(const Filter& filter) {
@@ -96,19 +97,49 @@ std::vector<int> MakeRowOrder(const ExampleTable& et, RowOrder order,
 std::vector<bool> VerifyAll::Verify(const VerifyContext& ctx,
                                     VerificationCounters* counters) {
   Stopwatch timer;
-  EvalEngine engine(ctx, counters);
   std::vector<int> row_order = MakeRowOrder(ctx.et, row_order_, ctx.seed);
+  int n = static_cast<int>(ctx.candidates.size());
   std::vector<bool> valid(ctx.candidates.size(), false);
-  for (size_t q = 0; q < ctx.candidates.size(); ++q) {
-    bool ok = true;
+
+  VerifyPoolHandle pool(ctx);
+  Executor::SubtreeMemo memo;
+  Executor::SubtreeMemo* memo_ptr =
+      ctx.verify.subtree_memo ? &memo : nullptr;
+  counters->threads_used = std::max(counters->threads_used, pool.threads());
+
+  // Evaluates candidate q with early exit at its first failing row.
+  auto check_candidate = [&](EvalEngine& engine, int q) {
     for (int row : row_order) {
-      if (!engine.EvaluateCandidateRow(static_cast<int>(q), row)) {
-        ok = false;
-        break;  // eliminated; skip remaining rows
-      }
+      if (!engine.EvaluateCandidateRow(q, row)) return false;
     }
-    valid[q] = ok;
+    return true;
+  };
+
+  if (pool.pool() == nullptr) {
+    EvalEngine engine(ctx, counters, memo_ptr);
+    for (int q = 0; q < n; ++q) valid[q] = check_candidate(engine, q);
+  } else {
+    // Candidates are independent, so fan batches of them out and merge the
+    // per-batch counters in canonical batch order. Results land in a byte
+    // vector — vector<bool> packs bits, so concurrent writes to distinct
+    // candidates would race on shared bytes.
+    int batch = std::max(1, ctx.verify.batch_size);
+    int num_batches = (n + batch - 1) / batch;
+    std::vector<uint8_t> ok_bytes(ctx.candidates.size(), 0);
+    std::vector<VerificationCounters> batch_counters(num_batches);
+    ParallelFor(pool.pool(), num_batches, [&](int b) {
+      EvalEngine engine(ctx, &batch_counters[b], memo_ptr);
+      int end = std::min(n, (b + 1) * batch);
+      for (int q = b * batch; q < end; ++q) {
+        ok_bytes[q] = check_candidate(engine, q) ? 1 : 0;
+      }
+    });
+    for (const VerificationCounters& c : batch_counters) counters->Add(c);
+    for (int q = 0; q < n; ++q) valid[q] = ok_bytes[q] != 0;
   }
+
+  counters->subtree_memo_hits += memo.hits();
+  counters->subtree_memo_lookups += memo.lookups();
   counters->elapsed_seconds += timer.ElapsedSeconds();
   return valid;
 }

@@ -131,10 +131,38 @@ void Executor::Semijoin(NodeState* parent, int edge,
   }
 }
 
+namespace {
+
+/// Collects the subtree of `tree` reachable from `vertex` without crossing
+/// `via_edge`, and whether any of its vertices carries a predicate. The
+/// (root, verts, edges) triple is the memo identity of the subtree.
+struct SubtreeScan {
+  RelationSet verts;
+  EdgeSet edges;
+  bool has_predicates = false;
+};
+
+void ScanSubtree(const SchemaGraph& graph, const JoinTree& tree, int vertex,
+                 int via_edge,
+                 const std::vector<std::vector<PhrasePredicate>>&
+                     preds_by_vertex,
+                 SubtreeScan* scan) {
+  scan->verts.Set(vertex);
+  if (!preds_by_vertex[vertex].empty()) scan->has_predicates = true;
+  for (int e : graph.IncidentEdges(vertex)) {
+    if (e == via_edge || !tree.edges.Test(e) || scan->edges.Test(e)) continue;
+    scan->edges.Set(e);
+    ScanSubtree(graph, tree, graph.OtherEnd(e, vertex), e, preds_by_vertex,
+                scan);
+  }
+}
+
+}  // namespace
+
 Executor::NodeState Executor::Reduce(
     const JoinTree& tree, int vertex, int via_edge,
     const std::vector<std::vector<PhrasePredicate>>& preds_by_vertex,
-    bool* feasible) const {
+    bool* feasible, SubtreeMemo* memo) const {
   NodeState state;
   if (!SeedNode(vertex, preds_by_vertex[vertex], &state)) {
     *feasible = false;
@@ -143,7 +171,45 @@ Executor::NodeState Executor::Reduce(
   for (int e : graph_.IncidentEdges(vertex)) {
     if (e == via_edge || !tree.edges.Test(e)) continue;
     int child_vertex = graph_.OtherEnd(e, vertex);
-    NodeState child = Reduce(tree, child_vertex, e, preds_by_vertex, feasible);
+
+    if (memo != nullptr) {
+      SubtreeScan scan;
+      ScanSubtree(graph_, tree, child_vertex, e, preds_by_vertex, &scan);
+      if (!scan.has_predicates) {
+        // Predicate-free subtree: its reduced root state depends only on
+        // (root, verts, edges) and the database — reuse it across every
+        // candidate and ET row of the request. An infeasible subtree is
+        // stored as the canonical empty state so replay reproduces the
+        // serial feasibility outcome.
+        SubtreeKey key{child_vertex, scan.verts, scan.edges};
+        std::shared_ptr<const NodeState> cached = memo->Lookup(key);
+        if (cached == nullptr) {
+          bool child_feasible = true;
+          NodeState fresh = Reduce(tree, child_vertex, e, preds_by_vertex,
+                                   &child_feasible, memo);
+          if (!child_feasible) {
+            fresh.full = false;
+            fresh.rows.clear();
+            fresh.rel = child_vertex;
+          }
+          cached = std::make_shared<const NodeState>(std::move(fresh));
+          memo->Insert(key, cached);
+        }
+        if (cached->Empty()) {
+          *feasible = false;
+          return state;
+        }
+        Semijoin(&state, e, *cached);
+        if (state.Empty()) {
+          *feasible = false;
+          return state;
+        }
+        continue;
+      }
+    }
+
+    NodeState child =
+        Reduce(tree, child_vertex, e, preds_by_vertex, feasible, memo);
     if (!*feasible) return state;
     Semijoin(&state, e, child);
     if (state.Empty()) {
@@ -155,7 +221,8 @@ Executor::NodeState Executor::Reduce(
 }
 
 bool Executor::Exists(const JoinTree& tree,
-                      const std::vector<PhrasePredicate>& predicates) const {
+                      const std::vector<PhrasePredicate>& predicates,
+                      SubtreeMemo* memo) const {
   std::vector<std::vector<PhrasePredicate>> preds_by_vertex(
       graph_.num_vertices());
   int root = -1;
@@ -168,7 +235,7 @@ bool Executor::Exists(const JoinTree& tree,
   if (root < 0) root = tree.verts.First();
   QBE_CHECK(root >= 0);
   bool feasible = true;
-  NodeState state = Reduce(tree, root, -1, preds_by_vertex, &feasible);
+  NodeState state = Reduce(tree, root, -1, preds_by_vertex, &feasible, memo);
   if (!feasible) return false;
   if (state.full) return db_.relation(root).num_rows() > 0;
   return !state.rows.empty();

@@ -1,8 +1,12 @@
 #ifndef QBE_EXEC_EXECUTOR_H_
 #define QBE_EXEC_EXECUTOR_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "exec/predicate.h"
@@ -22,14 +26,90 @@ namespace qbe {
 /// materialization for ET-matrix construction and tuple-tree weaving.
 class Executor {
  public:
+  /// The reduced row set of one join-tree node during the bottom-up
+  /// semijoin pass: either unrestricted (`full`) or an explicit sorted row
+  /// list. Public because SubtreeMemo stores reduced subtree roots.
+  struct NodeState {
+    int rel = -1;
+    bool full = true;                // no restriction yet
+    std::vector<uint32_t> rows;      // sorted, meaningful iff !full
+    bool Empty() const { return !full && rows.empty(); }
+  };
+
+  /// Identity of a predicate-free subtree hanging off one entry vertex: the
+  /// reduction result depends only on this triple and the database.
+  struct SubtreeKey {
+    int root = -1;
+    RelationSet verts;
+    EdgeSet edges;
+
+    friend bool operator==(const SubtreeKey& a, const SubtreeKey& b) {
+      return a.root == b.root && a.verts == b.verts && a.edges == b.edges;
+    }
+  };
+
+  struct SubtreeKeyHash {
+    size_t operator()(const SubtreeKey& k) const {
+      return (k.verts.Hash() * 1000003 + k.edges.Hash()) * 31 +
+             static_cast<size_t>(k.root);
+    }
+  };
+
+  /// Per-request memo of reduced predicate-free join subtrees. Candidate
+  /// queries of one request are subtrees of one schema graph and overlap
+  /// heavily on join structure while differing mostly in predicates, so the
+  /// predicate-free branches of their existence queries repeat across
+  /// candidates (and across ET rows): materialize each once per request
+  /// instead of once per evaluation. Thread-safe — one memo is shared by
+  /// every worker of a parallel verification; values are deterministic
+  /// functions of the database, so concurrent inserts are idempotent.
+  class SubtreeMemo {
+   public:
+    /// The memoized reduced root state, or null. Counts a lookup (and a hit
+    /// when found).
+    std::shared_ptr<const NodeState> Lookup(const SubtreeKey& key) {
+      lookups_.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = map_.find(key);
+      if (it == map_.end()) return nullptr;
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+
+    void Insert(const SubtreeKey& key,
+                std::shared_ptr<const NodeState> state) {
+      std::lock_guard<std::mutex> lock(mu_);
+      map_.emplace(key, std::move(state));
+    }
+
+    int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+    int64_t lookups() const {
+      return lookups_.load(std::memory_order_relaxed);
+    }
+    size_t size() const {
+      std::lock_guard<std::mutex> lock(mu_);
+      return map_.size();
+    }
+
+   private:
+    mutable std::mutex mu_;
+    std::unordered_map<SubtreeKey, std::shared_ptr<const NodeState>,
+                       SubtreeKeyHash>
+        map_;
+    std::atomic<int64_t> hits_{0};
+    std::atomic<int64_t> lookups_{0};
+  };
+
   Executor(const Database& db, const SchemaGraph& graph)
       : db_(db), graph_(graph) {}
 
   /// True iff the join of `tree` has at least one result row satisfying all
   /// `predicates` (which must reference text columns of tree relations).
-  /// This is the engine behind every CQ-row and filter verification.
+  /// This is the engine behind every CQ-row and filter verification. A
+  /// non-null `memo` shares reduced predicate-free subtrees across calls.
   bool Exists(const JoinTree& tree,
-              const std::vector<PhrasePredicate>& predicates) const;
+              const std::vector<PhrasePredicate>& predicates,
+              SubtreeMemo* memo = nullptr) const;
 
   /// Materializes up to `limit` result tuples of the join of `tree` under
   /// `predicates`, projected onto `projection` (text columns). Used to build
@@ -47,13 +127,6 @@ class Executor {
       size_t limit, std::vector<int>* vertex_order) const;
 
  private:
-  struct NodeState {
-    int rel = -1;
-    bool full = true;                // no restriction yet
-    std::vector<uint32_t> rows;      // sorted, meaningful iff !full
-    bool Empty() const { return !full && rows.empty(); }
-  };
-
   /// Applies this node's own predicates; returns false if unsatisfiable.
   bool SeedNode(int vertex, const std::vector<PhrasePredicate>& predicates,
                 NodeState* state) const;
@@ -64,10 +137,11 @@ class Executor {
 
   /// Bottom-up reduction of the subtree rooted at `vertex` (entered from
   /// `via_edge`, -1 at the root). Returns the reduced root state.
+  /// Predicate-free child subtrees are served from `memo` when provided.
   NodeState Reduce(const JoinTree& tree, int vertex, int via_edge,
                    const std::vector<std::vector<PhrasePredicate>>&
                        preds_by_vertex,
-                   bool* feasible) const;
+                   bool* feasible, SubtreeMemo* memo) const;
 
   const Database& db_;
   const SchemaGraph& graph_;

@@ -56,7 +56,16 @@ DiscoveryService::DiscoveryService(Database db, ServiceOptions options)
       options_(std::move(options)),
       cache_(options_.cache_shards),
       pool_(std::make_unique<ThreadPool>(options_.num_workers,
-                                         options_.max_queue_depth)) {}
+                                         options_.max_queue_depth)) {
+  if (options_.discovery.verify.threads > 1) {
+    // One shared verification pool for all requests; each request's
+    // ParallelFor rounds borrow whichever of these workers are idle. The
+    // deep queue is back-pressure only — verify tasks never submit to this
+    // pool themselves, so it cannot deadlock.
+    verify_pool_ = std::make_unique<ThreadPool>(
+        options_.discovery.verify.threads, /*max_queue_depth=*/1024);
+  }
+}
 
 DiscoveryService::~DiscoveryService() { Shutdown(); }
 
@@ -113,6 +122,7 @@ void DiscoveryService::Run(const std::shared_ptr<Request>& request) {
   DiscoveryOptions options = options_.discovery;
   options.cache = &cache_;
   options.deadline = request->has_deadline ? &request->deadline : nullptr;
+  options.verify_pool = verify_pool_.get();
 
   DiscoveryResult result = DiscoverQueries(db_, request->et, options);
 
@@ -142,6 +152,8 @@ void DiscoveryService::Run(const std::shared_ptr<Request>& request) {
 void DiscoveryService::Shutdown() {
   accepting_.store(false, std::memory_order_release);
   pool_->Shutdown();  // drains queued + in-flight; their promises resolve
+  // Only after every request drained: stop the verification workers.
+  if (verify_pool_ != nullptr) verify_pool_->Shutdown();
 }
 
 std::string DiscoveryService::MetricsDump() {
@@ -152,6 +164,10 @@ std::string DiscoveryService::MetricsDump() {
   metrics_.SetGauge("queue_depth", static_cast<double>(pool_->QueueDepth()));
   metrics_.SetGauge("worker_threads",
                     static_cast<double>(pool_->num_threads()));
+  metrics_.SetGauge("verify_threads",
+                    verify_pool_ == nullptr
+                        ? 1.0
+                        : static_cast<double>(verify_pool_->num_threads()));
   return metrics_.Dump();
 }
 

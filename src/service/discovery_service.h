@@ -52,8 +52,12 @@ struct ServiceOptions {
   std::chrono::milliseconds default_timeout{0};
   /// Shards of the shared verification-outcome cache.
   size_t cache_shards = 16;
-  /// Base discovery options for every request; `cache` and `deadline` are
-  /// overwritten by the service.
+  /// Base discovery options for every request; `cache`, `deadline` and
+  /// `verify_pool` are overwritten by the service. Setting
+  /// `discovery.verify.threads` > 1 makes the service own one shared
+  /// verification pool of that many workers; every request fans its CQ-row
+  /// and filter evaluations out over it (idle verify workers are shared
+  /// across concurrent requests rather than being spawned per request).
   DiscoveryOptions discovery;
   /// Test seam: runs on the worker thread right before a request's
   /// discovery starts (e.g. a latch that holds the worker busy so
@@ -114,6 +118,10 @@ class DiscoveryService {
   ConcurrentEvalCache cache_;
   MetricsRegistry metrics_;
   std::atomic<bool> accepting_{true};
+  // Shared intra-request verification pool (null when
+  // discovery.verify.threads <= 1). Declared before pool_ so it outlives
+  // the request workers that submit to it.
+  std::unique_ptr<ThreadPool> verify_pool_;
   // Declared last so its destructor (which joins workers running Run) fires
   // first, while the members Run touches are still alive.
   std::unique_ptr<ThreadPool> pool_;

@@ -21,6 +21,7 @@
 #include "datagen/et_gen.h"
 #include "datagen/retailer.h"
 #include "exec/executor.h"
+#include "text/tokenizer.h"
 #include "util/rng.h"
 
 namespace qbe {
@@ -176,6 +177,221 @@ TEST_P(Corollary1Test, ValidQueriesSatisfyColumnConstraints) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, Corollary1Test,
                          ::testing::Values(21, 22, 23));
+
+// ---------------------------------------------------------------------------
+// Tokenizer / phrase-containment properties (Definition 2 Remarks). The
+// token model underpins every containment check, so its edge cases — empty
+// cells, punctuation-only strings, repeated phrases, whole-tuple cells —
+// get their own property suite.
+// ---------------------------------------------------------------------------
+
+/// Random "word": 1-6 lowercase/uppercase alphanumeric chars.
+std::string RandomWord(Rng& rng) {
+  static const char kAlpha[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+  int len = static_cast<int>(rng.NextInRange(1, 6));
+  std::string w;
+  for (int i = 0; i < len; ++i) {
+    w.push_back(kAlpha[rng.NextBounded(sizeof(kAlpha) - 1)]);
+  }
+  return w;
+}
+
+/// Random inter-token separator: whitespace and/or punctuation.
+std::string RandomSeparator(Rng& rng) {
+  static const char kSep[] = " \t.,;:!?-()[]'\"/";
+  int len = static_cast<int>(rng.NextInRange(1, 3));
+  std::string s;
+  for (int i = 0; i < len; ++i) {
+    s.push_back(kSep[rng.NextBounded(sizeof(kSep) - 1)]);
+  }
+  return s;
+}
+
+/// Joins `tokens[lo, hi)` with fresh random separators, so the string form
+/// differs from the original while the token sequence is identical.
+std::string JoinSlice(const std::vector<std::string>& tokens, size_t lo,
+                      size_t hi, Rng& rng) {
+  std::string out;
+  for (size_t i = lo; i < hi; ++i) {
+    if (i > lo) out += RandomSeparator(rng);
+    out += tokens[i];
+  }
+  return out;
+}
+
+class TokenizerPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TokenizerPropertyTest, ContainmentEdgeCases) {
+  Rng rng(GetParam() * 9176 + 5);
+  for (int iter = 0; iter < 200; ++iter) {
+    int n = static_cast<int>(rng.NextInRange(1, 8));
+    std::vector<std::string> words;
+    for (int i = 0; i < n; ++i) words.push_back(RandomWord(rng));
+    std::string text = JoinSlice(words, 0, words.size(), rng);
+    std::vector<std::string> tokens = Tokenize(text);
+
+    // Tokenization normalizes case and strips separators: re-joining the
+    // tokens with different separators re-tokenizes to the same sequence.
+    EXPECT_EQ(Tokenize(JoinSlice(tokens, 0, tokens.size(), rng)), tokens);
+
+    // Containment is reflexive, and any consecutive slice is contained —
+    // even when re-punctuated and re-cased.
+    EXPECT_TRUE(ContainsPhrase(text, text));
+    size_t lo = rng.NextBounded(tokens.size() + 1);
+    size_t hi = lo + rng.NextBounded(tokens.size() - lo + 1);
+    std::string slice = JoinSlice(tokens, lo, hi, rng);
+    EXPECT_TRUE(ContainsPhrase(text, slice))
+        << "slice [" << lo << "," << hi << ") of \"" << text << "\"";
+
+    // The empty cell ("") and punctuation-only cells tokenize to nothing
+    // and are therefore contained in everything (Definition 2: an empty
+    // needle matches any haystack).
+    EXPECT_TRUE(ContainsPhrase(text, ""));
+    std::string punct = RandomSeparator(rng);
+    EXPECT_TRUE(Tokenize(punct).empty());
+    EXPECT_TRUE(ContainsPhrase(text, punct));
+    EXPECT_TRUE(ContainsPhrase(punct, punct));
+    EXPECT_EQ(ContainsPhrase(punct, text), tokens.empty());
+
+    // Repeated phrases: doubling the haystack preserves containment of the
+    // phrase and of its doubling, while the doubled phrase exceeds a single
+    // copy whenever the phrase has at least one token.
+    std::string doubled = text + RandomSeparator(rng) + text;
+    EXPECT_TRUE(ContainsPhrase(doubled, text));
+    EXPECT_TRUE(ContainsPhrase(doubled, doubled));
+    EXPECT_EQ(ContainsPhrase(text, doubled), tokens.empty());
+
+    // Containment is monotone in the haystack: extending it on either side
+    // cannot break a match.
+    std::string extended =
+        RandomWord(rng) + RandomSeparator(rng) + text + " " + RandomWord(rng);
+    EXPECT_TRUE(ContainsPhrase(extended, slice));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TokenizerPropertyTest,
+                         ::testing::Values(31, 32, 33, 34));
+
+/// Collects non-empty text values of the workbench database, for building
+/// hand-crafted ETs out of real tuple content.
+std::vector<std::string> SampleTexts(const Database& db, int limit) {
+  std::vector<std::string> texts;
+  for (int r = 0; r < db.num_relations(); ++r) {
+    const Relation& rel = db.relation(r);
+    for (int c = 0; c < rel.num_columns(); ++c) {
+      if (rel.columns()[c].type != ColumnType::kText) continue;
+      for (uint32_t row = 0; row < rel.num_rows() && texts.size() <
+                                 static_cast<size_t>(limit); ++row) {
+        if (!rel.TextAt(c, row).empty()) texts.push_back(rel.TextAt(c, row));
+      }
+    }
+  }
+  return texts;
+}
+
+/// Runs every verifier — serial and the parallel batched engine — over the
+/// ET and asserts they agree; returns the number of candidates so callers
+/// can assert the scenario was not vacuous.
+size_t ExpectAllVerifiersAgree(Workbench& wb, const ExampleTable& et,
+                               uint64_t seed) {
+  std::vector<CandidateQuery> candidates =
+      GenerateCandidates(wb.db, wb.graph, et, {});
+  if (candidates.empty()) return 0;
+  VerifyContext ctx{wb.db, wb.graph, wb.exec, et, candidates, seed};
+
+  VerifyAll verify_all(RowOrder::kDenseFirst);
+  VerificationCounters c0;
+  std::vector<bool> reference = verify_all.Verify(ctx, &c0);
+
+  SimplePrune simple_prune;
+  FilterVerifier filter_lazy(0.1, true);
+  CandidateVerifier* algos[] = {&simple_prune, &filter_lazy, &verify_all};
+  for (CandidateVerifier* algo : algos) {
+    for (int threads : {1, 4}) {
+      VerifyContext par_ctx = ctx;
+      par_ctx.verify.threads = threads;
+      par_ctx.verify.batch_size = 2;
+      VerificationCounters counters;
+      EXPECT_EQ(algo->Verify(par_ctx, &counters), reference)
+          << algo->name() << " at " << threads << " threads";
+    }
+  }
+  return candidates.size();
+}
+
+class EtEdgeCaseTest : public ::testing::TestWithParam<uint64_t> {};
+
+// Hand-crafted ETs around the tokenizer edge cases must flow through the
+// whole pipeline — candidate generation and every verifier, serial and
+// parallel — without crashes and with all algorithms agreeing.
+TEST_P(EtEdgeCaseTest, PipelineHandlesDegenerateCells) {
+  uint64_t seed = GetParam();
+  Workbench wb(seed);
+  std::vector<std::string> texts = SampleTexts(wb.db, 64);
+  ASSERT_GE(texts.size(), 4u);
+
+  // Empty cells: a sparse two-column ET of real values.
+  {
+    ExampleTable et = ExampleTable::WithColumns(2);
+    et.AddRow({texts[0], ""});
+    et.AddRow({"", texts[1]});
+    ASSERT_TRUE(et.IsWellFormed());
+    ExpectAllVerifiersAgree(wb, et, seed);
+  }
+
+  // Punctuation-only cell: non-empty text, zero tokens. The ET is
+  // structurally well-formed (the cell is not empty), yet the cell behaves
+  // as "contained in everything" during verification.
+  {
+    ExampleTable et = ExampleTable::WithColumns(2);
+    et.AddRow({texts[0], "?!..."});
+    ASSERT_TRUE(et.IsWellFormed());
+    EXPECT_FALSE(et.cell(0, 1).IsEmpty());
+    EXPECT_TRUE(et.CellTokens(0, 1).empty());
+    ExpectAllVerifiersAgree(wb, et, seed);
+  }
+
+  // Repeated phrase: "w w" only matches cells where the word really occurs
+  // twice in a row — strictly stronger than "w".
+  {
+    std::vector<std::string> tokens = Tokenize(texts[2]);
+    ASSERT_FALSE(tokens.empty());
+    ExampleTable et = ExampleTable::WithColumns(1);
+    et.AddRow({tokens[0] + " " + tokens[0]});
+    ExpectAllVerifiersAgree(wb, et, seed);
+  }
+
+  // Cell equal to a whole tuple's text: concatenating every text column of
+  // one tuple yields a phrase that no single column need contain. The
+  // pipeline must treat it as an ordinary (likely unsatisfiable) phrase.
+  {
+    const Relation& rel = wb.db.relation(0);
+    std::string whole;
+    for (int c = 0; c < rel.num_columns(); ++c) {
+      if (rel.columns()[c].type != ColumnType::kText) continue;
+      if (!whole.empty()) whole += " ";
+      whole += rel.TextAt(c, 0);
+    }
+    ASSERT_FALSE(whole.empty());
+    ExampleTable et = ExampleTable::WithColumns(1);
+    et.AddRow({whole});
+    ExpectAllVerifiersAgree(wb, et, seed);
+  }
+
+  // A single-word ET drawn from a dense column — guaranteed to produce
+  // candidates, so the agreement helper above is exercised non-vacuously
+  // at least once per seed.
+  {
+    std::vector<std::string> tokens = Tokenize(texts[3]);
+    ASSERT_FALSE(tokens.empty());
+    ExampleTable et = ExampleTable::WithColumns(1);
+    et.AddRow({tokens[0]});
+    EXPECT_GT(ExpectAllVerifiersAgree(wb, et, seed), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EtEdgeCaseTest, ::testing::Values(41, 42));
 
 }  // namespace
 }  // namespace qbe

@@ -42,7 +42,7 @@ void PrintUsage() {
       "usage: qbe_serve [--dataset retailer|imdb] [--scale S]\n"
       "                 [--requests FILE] [--repeat R]\n"
       "                 [--clients N] [--workers N] [--queue-depth N]\n"
-      "                 [--timeout-ms T]\n"
+      "                 [--timeout-ms T] [--verify-threads N]\n"
       "                 [--algorithm verifyall|simpleprune|filter|weave]\n");
 }
 
@@ -130,6 +130,12 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--timeout-ms") {
       if (const char* v = next()) timeout_ms = std::atoll(v);
+    } else if (arg == "--verify-threads") {
+      // Parallel batched verification engine (DESIGN.md §9): the service
+      // fans each request's CQ-row checks over a shared verify pool.
+      if (const char* v = next()) {
+        service_options.discovery.verify.threads = std::atoi(v);
+      }
     } else if (arg == "--algorithm") {
       const char* v = next();
       std::optional<qbe::Algorithm> algo =
