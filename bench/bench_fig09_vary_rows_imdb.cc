@@ -30,5 +30,10 @@ int main(int argc, char** argv) {
   }
   qbe::PrintSweep("Figure 9: vary the number of rows (IMDB)", "m", labels,
                   points);
+  if (!args.json_path.empty()) {
+    qbe::WriteSweepJson(args.json_path,
+                        "Figure 9: vary the number of rows (IMDB)", "m",
+                        labels, points);
+  }
   return 0;
 }

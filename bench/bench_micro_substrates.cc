@@ -12,6 +12,7 @@
 #include "datagen/imdb_like.h"
 #include "datagen/retailer.h"
 #include "exec/executor.h"
+#include "exec/match_cache.h"
 #include "schema/subtree_enum.h"
 #include "text/tokenizer.h"
 
@@ -72,6 +73,35 @@ void BM_PhraseMatch(benchmark::State& state) {
 }
 BENCHMARK(BM_PhraseMatch);
 
+void BM_PhraseMatchIds(benchmark::State& state) {
+  // The executor hot path: phrase tokens resolved to dictionary ids once
+  // per request, probes reuse one output buffer — no per-probe allocation.
+  const Database& db = ImdbDb();
+  int person = db.RelationIdByName("person");
+  const InvertedIndex& index = db.TextIndex(ColumnRef{person, 1});
+  std::vector<uint32_t> ids = db.token_dict().IdsOf({"mike", "jones"});
+  std::vector<uint32_t> rows;
+  for (auto _ : state) {
+    index.MatchPhraseIdsInto(ids, &rows);
+    benchmark::DoNotOptimize(rows.data());
+  }
+}
+BENCHMARK(BM_PhraseMatchIds);
+
+void BM_TokenRowCount(benchmark::State& state) {
+  // O(1) precomputed distinct-row count, by id and through the string
+  // compat wrapper (heterogeneous dictionary lookup, no string built).
+  const Database& db = ImdbDb();
+  int person = db.RelationIdByName("person");
+  const InvertedIndex& index = db.TextIndex(ColumnRef{person, 1});
+  uint32_t id = db.token_dict().Find("mike");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.TokenRowCountId(id));
+    benchmark::DoNotOptimize(index.TokenRowCount("mike"));
+  }
+}
+BENCHMARK(BM_TokenRowCount);
+
 void BM_ColumnIndexLookup(benchmark::State& state) {
   const Database& db = ImdbDb();
   std::vector<std::string> phrase = {"mike"};
@@ -105,6 +135,38 @@ void BM_ExecutorExists(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ExecutorExists);
+
+void BM_ExecutorExistsCached(benchmark::State& state) {
+  // Same probe as BM_ExecutorExists but with pre-resolved predicate ids and
+  // the per-request match cache, as DiscoverQueries runs it: after the first
+  // iteration every SeedNode probe is a shared-lock lookup.
+  const Database& db = ImdbDb();
+  const SchemaGraph& graph = ImdbGraph();
+  Executor exec(db, graph);
+  int person = db.RelationIdByName("person");
+  int cast_info = db.RelationIdByName("cast_info");
+  int title = db.RelationIdByName("title");
+  JoinTree tree = JoinTree::Single(cast_info);
+  for (int e : graph.IncidentEdges(cast_info)) {
+    int other = graph.OtherEnd(e, cast_info);
+    if ((other == person && !tree.verts.Test(person)) ||
+        (other == title && !tree.verts.Test(title))) {
+      tree = ExtendTree(tree, graph, e);
+    }
+  }
+  std::vector<PhrasePredicate> predicates = {
+      {ColumnRef{person, 1}, {"mike"}, false},
+      {ColumnRef{title, 1}, {"silent"}, false}};
+  for (PhrasePredicate& pred : predicates) {
+    pred.ids = db.token_dict().IdsOf(pred.tokens);
+  }
+  MatchCache match_cache;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        exec.Exists(tree, predicates, nullptr, &match_cache));
+  }
+}
+BENCHMARK(BM_ExecutorExistsCached);
 
 void BM_SubtreeEnumeration(benchmark::State& state) {
   const SchemaGraph& graph = ImdbGraph();

@@ -20,14 +20,29 @@ bool IsMinimalCandidate(const CandidateQuery& query,
 std::vector<PhrasePredicate> RowPredicates(const CandidateQuery& query,
                                            const ExampleTable& et, int row) {
   std::vector<PhrasePredicate> predicates;
+  RowPredicatesInto(query, et, nullptr, row, &predicates);
+  return predicates;
+}
+
+void RowPredicatesInto(const CandidateQuery& query, const ExampleTable& et,
+                       const EtTokenIds* et_ids, int row,
+                       std::vector<PhrasePredicate>* out) {
+  size_t n = 0;
   for (int c = 0; c < et.num_columns(); ++c) {
     const EtCell& cell = et.cell(row, c);
     if (cell.IsEmpty()) continue;
-    predicates.push_back(
-        PhrasePredicate{query.projection[c], et.CellTokens(row, c),
-                        cell.exact});
+    if (out->size() == n) out->emplace_back();
+    PhrasePredicate& pred = (*out)[n++];
+    pred.column = query.projection[c];
+    pred.tokens = et.CellTokens(row, c);
+    pred.exact = cell.exact;
+    if (et_ids != nullptr) {
+      pred.ids = et_ids->CellIds(row, c);
+    } else {
+      pred.ids.clear();
+    }
   }
-  return predicates;
+  out->resize(n);
 }
 
 std::string CandidateToString(const CandidateQuery& query, const Database& db,

@@ -35,6 +35,14 @@ bool IsMinimalCandidate(const CandidateQuery& query, const SchemaGraph& graph);
 std::vector<PhrasePredicate> RowPredicates(const CandidateQuery& query,
                                            const ExampleTable& et, int row);
 
+/// Allocation-reusing variant: rewrites `*out` in place (existing elements'
+/// buffers are reused). With non-null `et_ids`, predicates carry the
+/// request's pre-resolved token ids so the executor skips all per-call
+/// dictionary lookups.
+void RowPredicatesInto(const CandidateQuery& query, const ExampleTable& et,
+                       const EtTokenIds* et_ids, int row,
+                       std::vector<PhrasePredicate>* out);
+
 /// Debug rendering: join tree plus "EtCol->Relation.Column" mappings.
 std::string CandidateToString(const CandidateQuery& query, const Database& db,
                               const SchemaGraph& graph,

@@ -40,14 +40,14 @@ std::unique_ptr<CandidateVerifier> MakeVerifier(
 /// explanations) and more selective projection columns (mappings where the
 /// ET values pin down few base rows are likelier to reflect user intent).
 double RankScore(const Database& db, const ExampleTable& et,
-                 const CandidateQuery& query) {
+                 const EtTokenIds& et_ids, const CandidateQuery& query) {
   double selectivity_sum = 0.0;
   int cells = 0;
   for (int c = 0; c < et.num_columns(); ++c) {
     const InvertedIndex& index = db.TextIndex(query.projection[c]);
     for (int r = 0; r < et.num_rows(); ++r) {
       if (et.cell(r, c).IsEmpty()) continue;
-      size_t matches = index.MatchPhrase(et.CellTokens(r, c)).size();
+      size_t matches = index.MatchPhraseIds(et_ids.CellIds(r, c)).size();
       selectivity_sum += index.num_rows() == 0
                              ? 0.0
                              : static_cast<double>(matches) /
@@ -108,10 +108,16 @@ DiscoveryResult DiscoverQueries(const Database& db, const ExampleTable& et,
 
   if (DeadlineExpired(options)) return MarkTimedOut(result);
 
+  // Resolve the ET's tokens against the database dictionary once; every
+  // predicate this request builds carries id vectors from here on.
+  EtTokenIds et_ids(et, db.token_dict());
+  MatchCache match_cache;
   VerifyContext ctx{db,           graph,         exec,
                     et,           candidates,    options.seed,
                     options.cache, options.deadline,
-                    options.verify, options.verify_pool};
+                    options.verify, options.verify_pool,
+                    &et_ids,
+                    options.use_match_cache ? &match_cache : nullptr};
 
   std::vector<int> matched(candidates.size(), 0);
   std::vector<bool> keep(candidates.size(), false);
@@ -142,6 +148,11 @@ DiscoveryResult DiscoverQueries(const Database& db, const ExampleTable& et,
       matched[q] = valid[q] ? et.num_rows() : 0;
     }
   }
+  result.counters.match_cache_hits +=
+      static_cast<int64_t>(match_cache.hits());
+  result.counters.match_cache_lookups +=
+      static_cast<int64_t>(match_cache.lookups());
+
   // An aborted run's validity vector is fabricated from the abort point on;
   // surface the timeout instead of a wrong answer.
   if (result.counters.aborted) return MarkTimedOut(result);
@@ -157,7 +168,7 @@ DiscoveryResult DiscoverQueries(const Database& db, const ExampleTable& et,
                                    candidates[q].projection, labels);
     out.matched_rows = matched[q];
     out.score =
-        options.rank_results ? RankScore(db, et, candidates[q]) : 0.0;
+        options.rank_results ? RankScore(db, et, et_ids, candidates[q]) : 0.0;
     result.queries.push_back(std::move(out));
   }
   if (options.rank_results) {

@@ -70,6 +70,12 @@ struct DiscoveryOptions {
   /// borrow idle workers; when null, each request spins up a transient
   /// pool.
   ThreadPool* verify_pool = nullptr;
+
+  /// Shares (column, phrase-ids) → row-set match results across every
+  /// existence query of this request (see exec/match_cache.h). Purely an
+  /// execution-cost optimization: outcomes, verification counts, and the
+  /// valid set are bit-identical with it on or off, at any thread count.
+  bool use_match_cache = true;
 };
 
 /// One discovered query: the minimal valid project-join query, its SQL

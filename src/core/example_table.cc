@@ -52,6 +52,16 @@ double ExampleTable::Sparsity() const {
   return static_cast<double>(empty) / (num_rows() * num_columns());
 }
 
+EtTokenIds::EtTokenIds(const ExampleTable& et, const TokenDict& dict) {
+  ids_.resize(et.num_rows());
+  for (int r = 0; r < et.num_rows(); ++r) {
+    ids_[r].resize(et.num_columns());
+    for (int c = 0; c < et.num_columns(); ++c) {
+      ids_[r][c] = dict.IdsOf(et.CellTokens(r, c));
+    }
+  }
+}
+
 bool ExampleTable::IsWellFormed() const {
   if (rows_.empty()) return false;
   uint32_t column_union = 0;

@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "text/token_dict.h"
+
 namespace qbe {
 
 /// One cell of an example table: a string of one or more tokens, or empty
@@ -64,6 +66,23 @@ class ExampleTable {
   std::vector<std::vector<EtCell>> rows_;
   std::vector<std::vector<std::vector<std::string>>> tokens_;
   std::vector<uint32_t> nonempty_masks_;
+};
+
+/// Every ET cell's tokens resolved against one database's TokenDict, built
+/// once per discovery request. Predicates constructed from these carry id
+/// vectors, so the thousands of existence queries a request evaluates never
+/// re-hash a token string (unindexed tokens resolve to TokenDict::kNoToken,
+/// keeping phrase positions aligned).
+class EtTokenIds {
+ public:
+  EtTokenIds(const ExampleTable& et, const TokenDict& dict);
+
+  const std::vector<uint32_t>& CellIds(int row, int col) const {
+    return ids_[row][col];
+  }
+
+ private:
+  std::vector<std::vector<std::vector<uint32_t>>> ids_;
 };
 
 }  // namespace qbe

@@ -40,14 +40,28 @@ Filter MakeFilter(const CandidateQuery& query, const JoinTree& subtree,
 std::vector<PhrasePredicate> FilterPredicates(const Filter& filter,
                                               const ExampleTable& et) {
   std::vector<PhrasePredicate> predicates;
+  FilterPredicatesInto(filter, et, nullptr, &predicates);
+  return predicates;
+}
+
+void FilterPredicatesInto(const Filter& filter, const ExampleTable& et,
+                          const EtTokenIds* et_ids,
+                          std::vector<PhrasePredicate>* out) {
+  size_t n = 0;
   for (int c = 0; c < et.num_columns(); ++c) {
-    if ((filter.constrained_mask >> c) & 1) {
-      predicates.push_back(PhrasePredicate{filter.phi[c],
-                                           et.CellTokens(filter.row, c),
-                                           et.cell(filter.row, c).exact});
+    if (((filter.constrained_mask >> c) & 1) == 0) continue;
+    if (out->size() == n) out->emplace_back();
+    PhrasePredicate& pred = (*out)[n++];
+    pred.column = filter.phi[c];
+    pred.tokens = et.CellTokens(filter.row, c);
+    pred.exact = et.cell(filter.row, c).exact;
+    if (et_ids != nullptr) {
+      pred.ids = et_ids->CellIds(filter.row, c);
+    } else {
+      pred.ids.clear();
     }
   }
-  return predicates;
+  out->resize(n);
 }
 
 bool IsSubFilterOf(const Filter& sub, const Filter& super) {

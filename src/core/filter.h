@@ -74,6 +74,11 @@ Filter MakeFilter(const CandidateQuery& query, const JoinTree& subtree,
 std::vector<PhrasePredicate> FilterPredicates(const Filter& filter,
                                               const ExampleTable& et);
 
+/// Allocation-reusing variant of FilterPredicates (see RowPredicatesInto).
+void FilterPredicatesInto(const Filter& filter, const ExampleTable& et,
+                          const EtTokenIds* et_ids,
+                          std::vector<PhrasePredicate>* out);
+
 /// Sub-filter relation: true iff `sub.tree` ⊆ `super.tree`, rows match, and
 /// for every non-empty cell either sub's φ is undefined or equals super's.
 /// By Lemmas 3 and 4 this single relation carries both dependencies:

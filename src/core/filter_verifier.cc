@@ -295,7 +295,7 @@ std::vector<bool> FilterVerifier::Verify(const VerifyContext& ctx,
 
       struct Slot {
         int filter = -1;
-        std::vector<PhrasePredicate> predicates;
+        bool predicate_free = false;
         bool resolved = false;  // outcome known without evaluation
         bool outcome = false;
         VerificationCounters counters;
@@ -305,9 +305,9 @@ std::vector<bool> FilterVerifier::Verify(const VerifyContext& ctx,
       for (size_t i = 0; i < chosen.size(); ++i) {
         Slot& slot = slots[i];
         slot.filter = chosen[i];
-        slot.predicates =
-            FilterPredicates(universe.filters[chosen[i]], ctx.et);
-        if (slot.predicates.empty()) {
+        slot.predicate_free =
+            universe.filters[chosen[i]].constrained_mask == 0;
+        if (slot.predicate_free) {
           auto it = empty_join_memo.find(universe.filters[chosen[i]].tree);
           if (it != empty_join_memo.end()) {
             slot.resolved = true;
@@ -328,7 +328,7 @@ std::vector<bool> FilterVerifier::Verify(const VerifyContext& ctx,
       // statistics/propagation updates all land in selection order.
       for (Slot& slot : slots) {
         counters->Add(slot.counters);
-        if (!slot.resolved && slot.predicates.empty()) {
+        if (!slot.resolved && slot.predicate_free) {
           empty_join_memo.emplace(universe.filters[slot.filter].tree,
                                   slot.outcome);
         }

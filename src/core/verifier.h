@@ -71,6 +71,12 @@ struct VerificationCounters {
   /// hits for reduced predicate-free subtrees reused across candidates.
   int64_t subtree_memo_hits = 0;
   int64_t subtree_memo_lookups = 0;
+  /// Shared (column, phrase-ids) → row-set cache traffic (MatchCache):
+  /// posting-list scans saved inside SeedNode. Execution-cost only; the
+  /// verification counters above are charged identically with or without
+  /// the cache.
+  int64_t match_cache_hits = 0;
+  int64_t match_cache_lookups = 0;
   /// Worker threads the verifier actually used (1 = serial path).
   int threads_used = 1;
 
@@ -85,6 +91,8 @@ struct VerificationCounters {
     aborted = aborted || other.aborted;
     subtree_memo_hits += other.subtree_memo_hits;
     subtree_memo_lookups += other.subtree_memo_lookups;
+    match_cache_hits += other.match_cache_hits;
+    match_cache_lookups += other.match_cache_lookups;
     if (other.threads_used > threads_used) threads_used = other.threads_used;
   }
 
@@ -188,6 +196,13 @@ struct VerifyContext {
   /// DiscoveryService's verify pool, so requests borrow idle workers).
   /// Null with threads > 1 makes each Verify call spin up a transient pool.
   ThreadPool* pool = nullptr;
+  /// Optional per-request ET-cell token ids (resolved once against the
+  /// database's TokenDict). When set, predicates are built with id vectors
+  /// and the executor skips all per-call token resolution.
+  const EtTokenIds* et_ids = nullptr;
+  /// Optional per-request (column, phrase-ids) → row-set cache shared by
+  /// every worker (thread-safe, outcome-neutral; see exec/match_cache.h).
+  MatchCache* match_cache = nullptr;
 };
 
 /// Counting wrapper around the executor: evaluates one filter / CQ-row
@@ -220,6 +235,10 @@ class EvalEngine {
   VerificationCounters* counters_;
   Executor::SubtreeMemo* memo_ = nullptr;
   std::unordered_map<JoinTree, bool, JoinTreeHash> empty_join_cache_;
+  /// Reused predicate buffer: one engine evaluates thousands of CQ-rows /
+  /// filters, and rebuilding the vector each time was the dominant
+  /// allocation of the verify hot path.
+  std::vector<PhrasePredicate> preds_scratch_;
 };
 
 /// Canonical cache key for an existence query: join-tree identity plus the

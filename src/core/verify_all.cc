@@ -45,32 +45,32 @@ bool EvalEngine::Execute(const JoinTree& tree,
     if (std::optional<bool> cached = ctx_.cache->Lookup(key)) return *cached;
     counters_->verifications += 1;
     counters_->estimated_cost += cost;
-    bool ok = ctx_.exec.Exists(tree, predicates, memo_);
+    bool ok = ctx_.exec.Exists(tree, predicates, memo_, ctx_.match_cache);
     ctx_.cache->Insert(key, ok);
     return ok;
   }
   counters_->verifications += 1;
   counters_->estimated_cost += cost;
-  return ctx_.exec.Exists(tree, predicates, memo_);
+  return ctx_.exec.Exists(tree, predicates, memo_, ctx_.match_cache);
 }
 
 bool EvalEngine::EvaluateFilter(const Filter& filter) {
-  std::vector<PhrasePredicate> predicates = FilterPredicates(filter, ctx_.et);
-  if (predicates.empty()) {
+  FilterPredicatesInto(filter, ctx_.et, ctx_.et_ids, &preds_scratch_);
+  if (preds_scratch_.empty()) {
     // Outcome depends only on the join tree; memoize (see class comment).
     auto it = empty_join_cache_.find(filter.tree);
     if (it != empty_join_cache_.end()) return it->second;
-    bool ok = Execute(filter.tree, predicates, filter.Cost());
+    bool ok = Execute(filter.tree, preds_scratch_, filter.Cost());
     empty_join_cache_.emplace(filter.tree, ok);
     return ok;
   }
-  return Execute(filter.tree, predicates, filter.Cost());
+  return Execute(filter.tree, preds_scratch_, filter.Cost());
 }
 
 bool EvalEngine::EvaluateCandidateRow(int q, int row) {
   const CandidateQuery& query = ctx_.candidates[q];
-  return Execute(query.tree, RowPredicates(query, ctx_.et, row),
-                 query.tree.NumVertices());
+  RowPredicatesInto(query, ctx_.et, ctx_.et_ids, row, &preds_scratch_);
+  return Execute(query.tree, preds_scratch_, query.tree.NumVertices());
 }
 
 std::vector<int> MakeRowOrder(const ExampleTable& et, RowOrder order,

@@ -1,53 +1,108 @@
 #include "exec/executor.h"
 
 #include <algorithm>
+#include <bit>
 #include <unordered_set>
 
-#include "text/tokenizer.h"
 #include "util/check.h"
+#include "util/intersect.h"
 
 namespace qbe {
 namespace {
 
-/// Sorted-vector intersection in place.
-void IntersectSorted(std::vector<uint32_t>* a, const std::vector<uint32_t>& b) {
-  std::vector<uint32_t> out;
-  std::set_intersection(a->begin(), a->end(), b.begin(), b.end(),
-                        std::back_inserter(out));
-  *a = std::move(out);
+/// Reusable per-thread buffers for the seed/semijoin hot path. Exists is
+/// called thousands of times per request; with these, its steady state
+/// allocates nothing — clear() keeps vector capacity.
+/// Safe because SeedNode/Semijoin never recurse: each use is bracketed
+/// within one call, even though Reduce recurses around them.
+struct ExecScratch {
+  std::vector<uint32_t> ids;      // resolved token ids of one predicate
+  std::vector<uint32_t> matches;  // one predicate's match rows
+  std::vector<uint32_t> tmp;      // semijoin/seed result being built
+  std::vector<uint32_t> tmp2;     // intersection output buffer
+  std::vector<uint64_t> bits;     // row bitmap for semijoin dedup/membership
+};
+
+ExecScratch& Scratch() {
+  thread_local ExecScratch scratch;
+  return scratch;
 }
 
-void SortUnique(std::vector<uint32_t>* v) {
-  std::sort(v->begin(), v->end());
-  v->erase(std::unique(v->begin(), v->end()), v->end());
+void ClearBitmap(std::vector<uint64_t>* bits, size_t rows) {
+  bits->assign((rows + 63) / 64, 0);
+}
+
+void SetBit(std::vector<uint64_t>* bits, uint32_t row) {
+  (*bits)[row >> 6] |= uint64_t{1} << (row & 63);
+}
+
+bool TestBit(const std::vector<uint64_t>& bits, uint32_t row) {
+  return (bits[row >> 6] >> (row & 63)) & 1;
+}
+
+/// Emits the set rows of `bits` into `*out` in ascending order — the
+/// sorted-distinct row set without a sort, O(rows/64 + |set|).
+void EmitBitmap(const std::vector<uint64_t>& bits,
+                std::vector<uint32_t>* out) {
+  out->clear();
+  for (size_t w = 0; w < bits.size(); ++w) {
+    uint64_t word = bits[w];
+    while (word != 0) {
+      out->push_back(static_cast<uint32_t>(w * 64 + std::countr_zero(word)));
+      word &= word - 1;
+    }
+  }
 }
 
 }  // namespace
 
 bool Executor::SeedNode(int vertex,
-                        const std::vector<PhrasePredicate>& predicates,
-                        NodeState* state) const {
+                        const std::vector<const PhrasePredicate*>& predicates,
+                        NodeState* state, MatchCache* match_cache) const {
   state->rel = vertex;
   state->full = true;
   state->rows.clear();
-  for (const PhrasePredicate& pred : predicates) {
-    const InvertedIndex& index = db_.TextIndex(pred.column);
-    std::vector<uint32_t> matches = index.MatchPhrase(pred.tokens);
-    if (pred.exact) {
-      const Relation& rel = db_.relation(pred.column.rel);
-      std::vector<uint32_t> exact_rows;
-      for (uint32_t row : matches) {
-        if (Tokenize(rel.TextAt(pred.column.col, row)) == pred.tokens) {
-          exact_rows.push_back(row);
-        }
+  ExecScratch& scratch = Scratch();
+  for (const PhrasePredicate* pred : predicates) {
+    const InvertedIndex& index = db_.TextIndex(pred->column);
+    // Predicates built by the discovery pipeline carry ids resolved once
+    // per request; hand-built ones fall back to a per-call dictionary
+    // lookup (heterogeneous — no string is materialized).
+    std::span<const uint32_t> ids;
+    if (pred->ids.size() == pred->tokens.size()) {
+      ids = pred->ids;
+    } else {
+      index.dict().IdsOfInto(pred->tokens, &scratch.ids);
+      ids = scratch.ids;
+    }
+    // Exact match is answered from the index (occurrence at position 0
+    // covering the whole cell) — the cell is never re-tokenized.
+    const std::vector<uint32_t>* matches = nullptr;
+    std::shared_ptr<const std::vector<uint32_t>> cached;
+    if (match_cache != nullptr) {
+      cached = match_cache->GetOrCompute(
+          db_.TextColumnGid(pred->column), pred->exact, ids,
+          [&](std::vector<uint32_t>* out) {
+            if (pred->exact) {
+              index.MatchExactIdsInto(ids, out);
+            } else {
+              index.MatchPhraseIdsInto(ids, out);
+            }
+          });
+      matches = cached.get();
+    } else {
+      if (pred->exact) {
+        index.MatchExactIdsInto(ids, &scratch.matches);
+      } else {
+        index.MatchPhraseIdsInto(ids, &scratch.matches);
       }
-      matches = std::move(exact_rows);
+      matches = &scratch.matches;
     }
     if (state->full) {
       state->full = false;
-      state->rows = std::move(matches);
+      state->rows.assign(matches->begin(), matches->end());
     } else {
-      IntersectSorted(&state->rows, matches);
+      IntersectSortedInPlace(&state->rows, *matches, &scratch.tmp2);
     }
     if (state->Empty()) return false;
   }
@@ -57,8 +112,7 @@ bool Executor::SeedNode(int vertex,
 void Executor::Semijoin(NodeState* parent, int edge,
                         const NodeState& child) const {
   const ForeignKey& fk = db_.foreign_key(edge);
-  const Relation& to_rel = db_.relation(fk.to_rel);
-  const Relation& from_rel = db_.relation(fk.from_rel);
+  ExecScratch& scratch = Scratch();
 
   if (fk.from_rel == parent->rel) {
     // Parent holds the FK, child is the PK side.
@@ -67,39 +121,42 @@ void Executor::Semijoin(NodeState* parent, int edge,
       const std::vector<uint32_t>& valid = db_.ValidFromRows(edge);
       if (parent->full) {
         parent->full = false;
-        parent->rows = valid;
+        parent->rows.assign(valid.begin(), valid.end());
       } else {
-        IntersectSorted(&parent->rows, valid);
+        IntersectSortedInPlace(&parent->rows, valid, &scratch.tmp2);
       }
       return;
     }
     if (parent->full) {
-      // Expand: referencing rows of each surviving child PK value.
-      std::vector<uint32_t> result;
+      // Expand: referencing rows of each surviving child row. The spans of
+      // distinct child rows are disjoint (every FK row references exactly
+      // one PK row), so a bitmap emits the union already sorted — no
+      // sort+unique pass.
+      ClearBitmap(&scratch.bits, db_.relation(fk.from_rel).num_rows());
       for (uint32_t child_row : child.rows) {
-        int64_t pk = to_rel.IdAt(fk.to_col, child_row);
-        if (const std::vector<uint32_t>* rows = db_.FkLookup(edge, pk)) {
-          result.insert(result.end(), rows->begin(), rows->end());
+        for (uint32_t row : db_.ChildRowsOf(edge, child_row)) {
+          SetBit(&scratch.bits, row);
         }
       }
-      SortUnique(&result);
+      EmitBitmap(scratch.bits, &scratch.tmp);
       parent->full = false;
-      parent->rows = std::move(result);
+      std::swap(parent->rows, scratch.tmp);
       return;
     }
-    // Filter parent rows by FK-value membership in the child's PK values.
-    std::unordered_set<int64_t> child_keys;
-    child_keys.reserve(child.rows.size() * 2);
-    for (uint32_t child_row : child.rows) {
-      child_keys.insert(to_rel.IdAt(fk.to_col, child_row));
-    }
-    std::vector<uint32_t> kept;
+    // Filter parent rows: keep those whose referenced row survived in the
+    // child. Child membership is a bitmap test; the referenced row is an
+    // O(1) join-index read (no key extraction, no hashing).
+    ClearBitmap(&scratch.bits, db_.relation(fk.to_rel).num_rows());
+    for (uint32_t child_row : child.rows) SetBit(&scratch.bits, child_row);
+    scratch.tmp.clear();
     for (uint32_t row : parent->rows) {
-      if (child_keys.count(from_rel.IdAt(fk.from_col, row)) > 0) {
-        kept.push_back(row);
+      int32_t referenced = db_.ParentRowOf(edge, row);
+      if (referenced >= 0 &&
+          TestBit(scratch.bits, static_cast<uint32_t>(referenced))) {
+        scratch.tmp.push_back(row);
       }
     }
-    parent->rows = std::move(kept);
+    std::swap(parent->rows, scratch.tmp);
     return;
   }
 
@@ -109,25 +166,27 @@ void Executor::Semijoin(NodeState* parent, int edge,
     const std::vector<uint32_t>& referenced = db_.ReferencedRows(edge);
     if (parent->full) {
       parent->full = false;
-      parent->rows = referenced;
+      parent->rows.assign(referenced.begin(), referenced.end());
     } else {
-      IntersectSorted(&parent->rows, referenced);
+      IntersectSortedInPlace(&parent->rows, referenced, &scratch.tmp2);
     }
     return;
   }
-  std::vector<uint32_t> partners;
-  partners.reserve(child.rows.size());
+  // Rows referenced by the surviving child rows, deduplicated in ascending
+  // order via the bitmap (many child rows share a parent).
+  ClearBitmap(&scratch.bits, db_.relation(fk.to_rel).num_rows());
   for (uint32_t child_row : child.rows) {
-    int64_t key = from_rel.IdAt(fk.from_col, child_row);
-    int64_t row = db_.PkLookup(fk.to_rel, fk.to_col, key);
-    if (row >= 0) partners.push_back(static_cast<uint32_t>(row));
+    int32_t referenced = db_.ParentRowOf(edge, child_row);
+    if (referenced >= 0) {
+      SetBit(&scratch.bits, static_cast<uint32_t>(referenced));
+    }
   }
-  SortUnique(&partners);
+  EmitBitmap(scratch.bits, &scratch.tmp);
   if (parent->full) {
     parent->full = false;
-    parent->rows = std::move(partners);
+    std::swap(parent->rows, scratch.tmp);
   } else {
-    IntersectSorted(&parent->rows, partners);
+    IntersectSortedInPlace(&parent->rows, scratch.tmp, &scratch.tmp2);
   }
 }
 
@@ -144,7 +203,7 @@ struct SubtreeScan {
 
 void ScanSubtree(const SchemaGraph& graph, const JoinTree& tree, int vertex,
                  int via_edge,
-                 const std::vector<std::vector<PhrasePredicate>>&
+                 const std::vector<std::vector<const PhrasePredicate*>>&
                      preds_by_vertex,
                  SubtreeScan* scan) {
   scan->verts.Set(vertex);
@@ -161,10 +220,10 @@ void ScanSubtree(const SchemaGraph& graph, const JoinTree& tree, int vertex,
 
 Executor::NodeState Executor::Reduce(
     const JoinTree& tree, int vertex, int via_edge,
-    const std::vector<std::vector<PhrasePredicate>>& preds_by_vertex,
-    bool* feasible, SubtreeMemo* memo) const {
+    const std::vector<std::vector<const PhrasePredicate*>>& preds_by_vertex,
+    bool* feasible, SubtreeMemo* memo, MatchCache* match_cache) const {
   NodeState state;
-  if (!SeedNode(vertex, preds_by_vertex[vertex], &state)) {
+  if (!SeedNode(vertex, preds_by_vertex[vertex], &state, match_cache)) {
     *feasible = false;
     return state;
   }
@@ -186,7 +245,7 @@ Executor::NodeState Executor::Reduce(
         if (cached == nullptr) {
           bool child_feasible = true;
           NodeState fresh = Reduce(tree, child_vertex, e, preds_by_vertex,
-                                   &child_feasible, memo);
+                                   &child_feasible, memo, match_cache);
           if (!child_feasible) {
             fresh.full = false;
             fresh.rows.clear();
@@ -208,8 +267,8 @@ Executor::NodeState Executor::Reduce(
       }
     }
 
-    NodeState child =
-        Reduce(tree, child_vertex, e, preds_by_vertex, feasible, memo);
+    NodeState child = Reduce(tree, child_vertex, e, preds_by_vertex, feasible,
+                             memo, match_cache);
     if (!*feasible) return state;
     Semijoin(&state, e, child);
     if (state.Empty()) {
@@ -222,20 +281,27 @@ Executor::NodeState Executor::Reduce(
 
 bool Executor::Exists(const JoinTree& tree,
                       const std::vector<PhrasePredicate>& predicates,
-                      SubtreeMemo* memo) const {
-  std::vector<std::vector<PhrasePredicate>> preds_by_vertex(
-      graph_.num_vertices());
+                      SubtreeMemo* memo, MatchCache* match_cache) const {
+  // Bucket predicates by vertex without copying them; the per-thread bucket
+  // vectors keep their capacity across calls.
+  thread_local std::vector<std::vector<const PhrasePredicate*>>
+      preds_by_vertex;
+  if (preds_by_vertex.size() < static_cast<size_t>(graph_.num_vertices())) {
+    preds_by_vertex.resize(graph_.num_vertices());
+  }
+  for (auto& bucket : preds_by_vertex) bucket.clear();
   int root = -1;
   for (const PhrasePredicate& pred : predicates) {
     QBE_CHECK_MSG(tree.verts.Test(pred.column.rel),
                   "predicate column outside join tree");
-    preds_by_vertex[pred.column.rel].push_back(pred);
+    preds_by_vertex[pred.column.rel].push_back(&pred);
     root = pred.column.rel;  // root at some predicate node
   }
   if (root < 0) root = tree.verts.First();
   QBE_CHECK(root >= 0);
   bool feasible = true;
-  NodeState state = Reduce(tree, root, -1, preds_by_vertex, &feasible, memo);
+  NodeState state = Reduce(tree, root, -1, preds_by_vertex, &feasible, memo,
+                           match_cache);
   if (!feasible) return false;
   if (state.full) return db_.relation(root).num_rows() > 0;
   return !state.rows.empty();
@@ -247,18 +313,18 @@ std::vector<std::vector<uint32_t>> Executor::MaterializeAssignments(
   std::vector<std::vector<uint32_t>> results;
   if (limit == 0) return results;
 
-  std::vector<std::vector<PhrasePredicate>> preds_by_vertex(
+  std::vector<std::vector<const PhrasePredicate*>> preds_by_vertex(
       graph_.num_vertices());
   for (const PhrasePredicate& pred : predicates) {
     QBE_CHECK(tree.verts.Test(pred.column.rel));
-    preds_by_vertex[pred.column.rel].push_back(pred);
+    preds_by_vertex[pred.column.rel].push_back(&pred);
   }
 
   // Seed every node; remember per-node candidate sets for filtering.
   std::vector<int> vertices = tree.Vertices();
   std::vector<NodeState> seeded(graph_.num_vertices());
   for (int v : vertices) {
-    if (!SeedNode(v, preds_by_vertex[v], &seeded[v])) return results;
+    if (!SeedNode(v, preds_by_vertex[v], &seeded[v], nullptr)) return results;
   }
 
   // Root at the most selective node (fewest candidate rows; an
@@ -322,20 +388,13 @@ std::vector<std::vector<uint32_t>> Executor::MaterializeAssignments(
       return self(self, pos + 1);
     };
     if (fk.from_rel == v) {
-      // Child rows reference the parent's PK value.
-      int parent_vertex = order[parent_pos[pos]];
-      int64_t key = db_.relation(parent_vertex).IdAt(fk.to_col, parent_row);
-      if (const std::vector<uint32_t>* rows = db_.FkLookup(e, key)) {
-        for (uint32_t row : *rows) {
-          if (try_row(row)) return true;
-        }
+      // Child rows referencing the parent row (row-level join index).
+      for (uint32_t row : db_.ChildRowsOf(e, parent_row)) {
+        if (try_row(row)) return true;
       }
     } else {
       // Child is the PK side of the parent's FK: at most one partner row.
-      int parent_vertex = order[parent_pos[pos]];
-      int64_t key =
-          db_.relation(parent_vertex).IdAt(fk.from_col, parent_row);
-      int64_t row = db_.PkLookup(fk.to_rel, fk.to_col, key);
+      int32_t row = db_.ParentRowOf(e, parent_row);
       if (row >= 0 && try_row(static_cast<uint32_t>(row))) return true;
     }
     return false;

@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "exec/match_cache.h"
 #include "exec/predicate.h"
 #include "schema/join_tree.h"
 #include "schema/schema_graph.h"
@@ -106,10 +107,13 @@ class Executor {
   /// True iff the join of `tree` has at least one result row satisfying all
   /// `predicates` (which must reference text columns of tree relations).
   /// This is the engine behind every CQ-row and filter verification. A
-  /// non-null `memo` shares reduced predicate-free subtrees across calls.
+  /// non-null `memo` shares reduced predicate-free subtrees across calls; a
+  /// non-null `match_cache` shares per-(column, phrase) row sets across
+  /// calls (both thread-safe and outcome-neutral).
   bool Exists(const JoinTree& tree,
               const std::vector<PhrasePredicate>& predicates,
-              SubtreeMemo* memo = nullptr) const;
+              SubtreeMemo* memo = nullptr,
+              MatchCache* match_cache = nullptr) const;
 
   /// Materializes up to `limit` result tuples of the join of `tree` under
   /// `predicates`, projected onto `projection` (text columns). Used to build
@@ -128,8 +132,10 @@ class Executor {
 
  private:
   /// Applies this node's own predicates; returns false if unsatisfiable.
-  bool SeedNode(int vertex, const std::vector<PhrasePredicate>& predicates,
-                NodeState* state) const;
+  /// Match row sets come from `match_cache` when provided.
+  bool SeedNode(int vertex,
+                const std::vector<const PhrasePredicate*>& predicates,
+                NodeState* state, MatchCache* match_cache) const;
 
   /// Reduces `parent` to the rows having at least one join partner in
   /// `child` via `edge` (a semijoin). Exactness relies on tree-shaped joins.
@@ -139,9 +145,10 @@ class Executor {
   /// `via_edge`, -1 at the root). Returns the reduced root state.
   /// Predicate-free child subtrees are served from `memo` when provided.
   NodeState Reduce(const JoinTree& tree, int vertex, int via_edge,
-                   const std::vector<std::vector<PhrasePredicate>>&
+                   const std::vector<std::vector<const PhrasePredicate*>>&
                        preds_by_vertex,
-                   bool* feasible, SubtreeMemo* memo) const;
+                   bool* feasible, SubtreeMemo* memo,
+                   MatchCache* match_cache) const;
 
   const Database& db_;
   const SchemaGraph& graph_;

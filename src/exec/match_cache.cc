@@ -1,0 +1,43 @@
+#include "exec/match_cache.h"
+
+#include <algorithm>
+
+namespace qbe {
+
+MatchCache::MatchCache(size_t shards) {
+  if (shards == 0) shards = 1;
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+std::shared_ptr<const std::vector<uint32_t>> MatchCache::GetOrCompute(
+    int column_gid, bool exact, std::span<const uint32_t> ids,
+    const std::function<void(std::vector<uint32_t>*)>& compute) {
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  const KeyView view{column_gid, exact, ids};
+  const size_t hash = Hash{}(view);
+  Shard& shard = *shards_[hash % shards_.size()];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(view);
+    if (it != shard.map.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  auto value = std::make_shared<std::vector<uint32_t>>();
+  compute(value.get());
+  std::shared_ptr<const std::vector<uint32_t>> result = std::move(value);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto [it, inserted] = shard.map.emplace(
+        Key{column_gid, exact, std::vector<uint32_t>(ids.begin(), ids.end())},
+        result);
+    if (!inserted) return it->second;  // lost the race; results identical
+  }
+  return result;
+}
+
+}  // namespace qbe

@@ -1,6 +1,7 @@
 #ifndef QBE_EXEC_PREDICATE_H_
 #define QBE_EXEC_PREDICATE_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -13,10 +14,17 @@ namespace qbe {
 /// tokenized ET cell value; when `exact` is set the phrase must equal the
 /// whole cell (the paper's exact-match extension for numbers, §2.2
 /// Remarks).
+///
+/// `ids` optionally carries the phrase pre-resolved against the database's
+/// TokenDict; it is considered resolved iff ids.size() == tokens.size()
+/// (position-aligned, TokenDict::kNoToken for unindexed tokens). The
+/// executor uses the ids directly when present and falls back to a per-call
+/// dictionary lookup otherwise, so hand-built predicates keep working.
 struct PhrasePredicate {
   ColumnRef column;
   std::vector<std::string> tokens;
   bool exact = false;
+  std::vector<uint32_t> ids;
 };
 
 }  // namespace qbe

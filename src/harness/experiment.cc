@@ -234,6 +234,79 @@ void PrintSweep(const std::string& title, const std::string& param_name,
 }
 
 
+namespace {
+
+/// Minimal JSON string escape (quotes, backslashes, control characters);
+/// bench titles are ASCII so this covers everything we emit.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void WriteSweepJson(const std::string& path, const std::string& title,
+                    const std::string& param_name,
+                    const std::vector<std::string>& param_values,
+                    const std::vector<ExperimentPoint>& points) {
+  QBE_CHECK(param_values.size() == points.size());
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  QBE_CHECK_MSG(f != nullptr, "cannot open JSON output path");
+  std::fprintf(f, "{\n  \"title\": \"%s\",\n  \"param\": \"%s\",\n",
+               JsonEscape(title).c_str(), JsonEscape(param_name).c_str());
+  std::fprintf(f, "  \"points\": [\n");
+  for (size_t i = 0; i < points.size(); ++i) {
+    const ExperimentPoint& point = points[i];
+    std::fprintf(f,
+                 "    {\"%s\": \"%s\", \"avg_candidates\": %.6g, "
+                 "\"avg_valid\": %.6g, \"algos\": [\n",
+                 JsonEscape(param_name).c_str(),
+                 JsonEscape(param_values[i]).c_str(), point.avg_candidates,
+                 point.avg_valid);
+    for (size_t a = 0; a < point.algos.size(); ++a) {
+      const AlgoAggregate& agg = point.algos[a];
+      std::fprintf(f,
+                   "      {\"name\": \"%s\", \"avg_verifications\": %.6g, "
+                   "\"avg_millis\": %.6g, \"avg_cost\": %.6g, "
+                   "\"max_verifications\": %.6g, \"max_millis\": %.6g, "
+                   "\"avg_peak_bytes\": %.6g, \"threads\": %d, "
+                   "\"memo_hit_rate\": %.6g}%s\n",
+                   JsonEscape(agg.name).c_str(), agg.avg_verifications,
+                   agg.avg_millis, agg.avg_cost, agg.max_verifications,
+                   agg.max_millis, agg.avg_peak_bytes, agg.threads,
+                   agg.MemoHitRate(), a + 1 < point.algos.size() ? "," : "");
+    }
+    std::fprintf(f, "    ]}%s\n", i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
 BenchArgs ParseBenchArgs(int argc, char** argv, int default_ets,
                          double default_scale) {
   BenchArgs args;
@@ -247,6 +320,8 @@ BenchArgs ParseBenchArgs(int argc, char** argv, int default_ets,
       args.scale = std::atof(arg + 8);
     } else if (std::strncmp(arg, "--seed=", 7) == 0) {
       args.seed = static_cast<uint64_t>(std::atoll(arg + 7));
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      args.json_path = arg + 7;
     }
   }
   QBE_CHECK(args.ets_per_point > 0);

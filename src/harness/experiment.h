@@ -96,10 +96,12 @@ ExperimentPoint RunPoint(const Bundle& bundle,
 ///   --ets=N    ETs per sweep point (default per bench)
 ///   --scale=X  dataset scale factor
 ///   --seed=N   master seed
+///   --json=P   also write the sweep as machine-readable JSON to path P
 struct BenchArgs {
   int ets_per_point;
   double scale;
   uint64_t seed = 7;
+  std::string json_path;  // empty: no JSON output
 };
 
 BenchArgs ParseBenchArgs(int argc, char** argv, int default_ets,
@@ -111,6 +113,15 @@ BenchArgs ParseBenchArgs(int argc, char** argv, int default_ets,
 void PrintSweep(const std::string& title, const std::string& param_name,
                 const std::vector<std::string>& param_values,
                 const std::vector<ExperimentPoint>& points);
+
+/// Writes the same sweep as machine-readable JSON (one object with a
+/// `points` array; each point carries per-algorithm verification counts,
+/// times, costs and engine stats). Used by the CI bench leg to archive
+/// results. Crashes (QBE_CHECK) if the file cannot be opened.
+void WriteSweepJson(const std::string& path, const std::string& title,
+                    const std::string& param_name,
+                    const std::vector<std::string>& param_values,
+                    const std::vector<ExperimentPoint>& points);
 
 }  // namespace qbe
 

@@ -142,6 +142,10 @@ void DiscoveryService::Run(const std::shared_ptr<Request>& request) {
         .Increment(static_cast<int64_t>(result.queries.size()));
     metrics_.GetHistogram("verifications_per_request", WorkBuckets())
         .Observe(static_cast<double>(result.counters.verifications));
+    metrics_.GetCounter("match_cache_hits")
+        .Increment(result.counters.match_cache_hits);
+    metrics_.GetCounter("match_cache_lookups")
+        .Increment(result.counters.match_cache_lookups);
   }
   metrics_.GetHistogram("latency_seconds", LatencyBuckets())
       .Observe(response.latency_seconds);

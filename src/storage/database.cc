@@ -70,13 +70,14 @@ void Database::BuildIndexes() {
       text_cols_.push_back(ColumnRef{rel, col});
     }
   }
+  dict_ = std::make_unique<TokenDict>();
   fts_.resize(text_cols_.size());
   for (int gid = 0; gid < static_cast<int>(text_cols_.size()); ++gid) {
     const ColumnRef& ref = text_cols_[gid];
     const std::vector<std::string>& cells =
         relations_[ref.rel].TextColumn(ref.col);
-    fts_[gid].Build(cells);
-    ci_.RegisterColumn(gid, &fts_[gid], cells);
+    fts_[gid].Build(cells, dict_.get());
+    ci_.RegisterColumn(gid, &fts_[gid]);
   }
 
   // PK hash indexes on every column referenced by a foreign key.
@@ -93,8 +94,9 @@ void Database::BuildIndexes() {
     pk_indexes_.emplace(key, std::move(index));
   }
 
-  // FK hash indexes and per-edge join statistics.
+  // FK hash indexes, row-level join indexes and per-edge join statistics.
   fk_indexes_.resize(fks_.size());
+  edge_join_.resize(fks_.size());
   referenced_rows_.resize(fks_.size());
   edge_no_dangling_.assign(fks_.size(), 1);
   valid_from_rows_.resize(fks_.size());
@@ -103,14 +105,17 @@ void Database::BuildIndexes() {
         relations_[fk.from_rel].IdColumn(fk.from_col);
     const PkIndex& pk = pk_indexes_.at(PkIndexKey(fk.to_rel, fk.to_col));
     FkIndex& index = fk_indexes_[fk.id];
+    EdgeJoinIndex& join = edge_join_[fk.id];
     std::vector<uint32_t>& referenced = referenced_rows_[fk.id];
     std::vector<uint32_t>& valid_from = valid_from_rows_[fk.id];
+    join.parent_row.assign(values.size(), -1);
     for (uint32_t row = 0; row < values.size(); ++row) {
       index.rows_by_key[values[row]].push_back(row);
       auto it = pk.row_by_key.find(values[row]);
       if (it == pk.row_by_key.end()) {
         edge_no_dangling_[fk.id] = 0;
       } else {
+        join.parent_row[row] = static_cast<int32_t>(it->second);
         valid_from.push_back(row);
         referenced.push_back(it->second);
       }
@@ -118,6 +123,24 @@ void Database::BuildIndexes() {
     std::sort(referenced.begin(), referenced.end());
     referenced.erase(std::unique(referenced.begin(), referenced.end()),
                      referenced.end());
+
+    // CSR of the reverse direction (to-row → referencing rows); filling in
+    // ascending from-row order leaves each span sorted.
+    const size_t to_rows = relations_[fk.to_rel].num_rows();
+    join.child_offsets.assign(to_rows + 1, 0);
+    for (int32_t parent : join.parent_row) {
+      if (parent >= 0) ++join.child_offsets[parent + 1];
+    }
+    for (size_t i = 1; i <= to_rows; ++i) {
+      join.child_offsets[i] += join.child_offsets[i - 1];
+    }
+    join.child_rows.resize(join.child_offsets[to_rows]);
+    std::vector<uint32_t> cursor(join.child_offsets.begin(),
+                                 join.child_offsets.end() - 1);
+    for (uint32_t row = 0; row < values.size(); ++row) {
+      int32_t parent = join.parent_row[row];
+      if (parent >= 0) join.child_rows[cursor[parent]++] = row;
+    }
   }
 }
 
@@ -166,7 +189,13 @@ size_t Database::MemoryBytes() const {
   size_t bytes = 0;
   for (const Relation& r : relations_) bytes += r.MemoryBytes();
   for (const InvertedIndex& index : fts_) bytes += index.MemoryBytes();
+  if (dict_ != nullptr) bytes += dict_->MemoryBytes();
   bytes += ci_.MemoryBytes();
+  for (const EdgeJoinIndex& join : edge_join_) {
+    bytes += join.parent_row.capacity() * sizeof(int32_t) +
+             (join.child_offsets.capacity() + join.child_rows.capacity()) *
+                 sizeof(uint32_t);
+  }
   return bytes;
 }
 

@@ -2,6 +2,8 @@
 #define QBE_STORAGE_DATABASE_H_
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -9,6 +11,7 @@
 #include "storage/relation.h"
 #include "text/column_index.h"
 #include "text/inverted_index.h"
+#include "text/token_dict.h"
 
 namespace qbe {
 
@@ -89,6 +92,11 @@ class Database {
   const InvertedIndex& TextIndex(const ColumnRef& ref) const;
   const ColumnIndex& column_index() const { return ci_; }
 
+  /// The database-wide token dictionary all FTS indexes intern into (valid
+  /// after BuildIndexes). Heap-allocated so its address survives moves of
+  /// the Database — the indexes hold pointers into it.
+  const TokenDict& token_dict() const { return *dict_; }
+
   /// Human-readable "Relation.Column" name.
   std::string QualifiedColumnName(const ColumnRef& ref) const;
 
@@ -118,6 +126,21 @@ class Database {
     return fk_indexes_[edge].rows_by_key.size();
   }
 
+  /// Row of `to_rel` that `from_row` references via `edge`, or -1 if the FK
+  /// value is dangling. Row-level join index: O(1) array read, no key
+  /// extraction or hashing — the semijoin hot path.
+  int32_t ParentRowOf(int edge, uint32_t from_row) const {
+    return edge_join_[edge].parent_row[from_row];
+  }
+
+  /// Rows of `from_rel` referencing `to_row` via `edge`, ascending. O(1).
+  std::span<const uint32_t> ChildRowsOf(int edge, uint32_t to_row) const {
+    const EdgeJoinIndex& join = edge_join_[edge];
+    return std::span<const uint32_t>(
+        join.child_rows.data() + join.child_offsets[to_row],
+        join.child_offsets[to_row + 1] - join.child_offsets[to_row]);
+  }
+
   size_t MemoryBytes() const;
 
  private:
@@ -127,6 +150,13 @@ class Database {
   struct FkIndex {
     std::unordered_map<int64_t, std::vector<uint32_t>> rows_by_key;
   };
+  /// Row-level join index of one FK edge: both directions resolved to row
+  /// indexes at build time so semijoins never touch the value-keyed hashes.
+  struct EdgeJoinIndex {
+    std::vector<int32_t> parent_row;      // from-row → to-row, -1 dangling
+    std::vector<uint32_t> child_offsets;  // to-row → CSR begin; to_rows+1
+    std::vector<uint32_t> child_rows;     // referencing from-rows, ascending
+  };
 
   bool built_ = false;
   std::vector<Relation> relations_;
@@ -135,11 +165,13 @@ class Database {
 
   std::vector<ColumnRef> text_cols_;                    // gid -> column
   std::vector<std::vector<int>> text_gid_;              // [rel][col] -> gid
+  std::unique_ptr<TokenDict> dict_;                     // shared by all fts_
   std::vector<InvertedIndex> fts_;                      // by gid
   ColumnIndex ci_;
 
   std::unordered_map<int64_t, PkIndex> pk_indexes_;     // key: rel*4096+col
   std::vector<FkIndex> fk_indexes_;                     // by edge id
+  std::vector<EdgeJoinIndex> edge_join_;                // by edge id
   std::vector<std::vector<uint32_t>> referenced_rows_;  // by edge id
   std::vector<char> edge_no_dangling_;                  // by edge id
   std::vector<std::vector<uint32_t>> valid_from_rows_;  // by edge id

@@ -2,31 +2,30 @@
 
 #include <algorithm>
 
-#include "text/tokenizer.h"
 #include "util/check.h"
 
 namespace qbe {
 
-void ColumnIndex::RegisterColumn(int column_gid, const InvertedIndex* index,
-                                 const std::vector<std::string>& cells) {
+void ColumnIndex::RegisterColumn(int column_gid, const InvertedIndex* index) {
   QBE_CHECK(column_gid == static_cast<int>(columns_.size()));
-  columns_.push_back(index);
-  // Record the distinct tokens of this column in the directory.
-  std::vector<std::string> seen;
-  for (const std::string& cell : cells) {
-    for (std::string& tok : Tokenize(cell)) {
-      seen.push_back(std::move(tok));
-    }
+  if (dict_ == nullptr) {
+    dict_ = &index->dict();
+  } else {
+    QBE_CHECK_MSG(dict_ == &index->dict(),
+                  "all column indexes must share one TokenDict");
   }
-  std::sort(seen.begin(), seen.end());
-  seen.erase(std::unique(seen.begin(), seen.end()), seen.end());
-  for (const std::string& tok : seen) token_columns_[tok].push_back(column_gid);
+  columns_.push_back(index);
+  // The per-column index already knows its distinct tokens — no cell is
+  // re-tokenized here. Registration order keeps each list sorted.
+  for (uint32_t id : index->distinct_token_ids()) {
+    token_columns_[id].push_back(column_gid);
+  }
 }
 
-std::vector<int> ColumnIndex::ColumnsContaining(
-    const std::vector<std::string>& phrase) const {
+std::vector<int> ColumnIndex::ColumnsContainingIds(
+    std::span<const uint32_t> ids) const {
   std::vector<int> result;
-  if (phrase.empty()) {
+  if (ids.empty()) {
     for (int c = 0; c < num_columns(); ++c)
       if (columns_[c]->num_rows() > 0) result.push_back(c);
     return result;
@@ -34,8 +33,9 @@ std::vector<int> ColumnIndex::ColumnsContaining(
   // Intersect the token directories to find columns containing every token,
   // then verify the consecutive-position requirement per column.
   std::vector<int> cand;
-  for (size_t k = 0; k < phrase.size(); ++k) {
-    auto it = token_columns_.find(phrase[k]);
+  for (size_t k = 0; k < ids.size(); ++k) {
+    if (ids[k] == TokenDict::kNoToken) return result;
+    auto it = token_columns_.find(ids[k]);
     if (it == token_columns_.end()) return result;
     if (k == 0) {
       cand = it->second;
@@ -48,15 +48,22 @@ std::vector<int> ColumnIndex::ColumnsContaining(
     if (cand.empty()) return result;
   }
   for (int c : cand) {
-    if (phrase.size() == 1 || columns_[c]->AnyMatch(phrase)) result.push_back(c);
+    if (ids.size() == 1 || columns_[c]->AnyMatchIds(ids)) result.push_back(c);
   }
   return result;
 }
 
+std::vector<int> ColumnIndex::ColumnsContaining(
+    const std::vector<std::string>& phrase) const {
+  if (dict_ == nullptr) return {};
+  return ColumnsContainingIds(dict_->IdsOf(phrase));
+}
+
 size_t ColumnIndex::MemoryBytes() const {
   size_t bytes = columns_.size() * sizeof(void*);
-  for (const auto& [token, cols] : token_columns_) {
-    bytes += token.size() + cols.size() * sizeof(int) + 64;
+  for (const auto& [id, cols] : token_columns_) {
+    (void)id;
+    bytes += sizeof(uint32_t) + cols.size() * sizeof(int) + 48;
   }
   return bytes;
 }

@@ -1,11 +1,14 @@
 #ifndef QBE_TEXT_COLUMN_INDEX_H_
 #define QBE_TEXT_COLUMN_INDEX_H_
 
+#include <cstdint>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "text/inverted_index.h"
+#include "text/token_dict.h"
 
 namespace qbe {
 
@@ -14,22 +17,27 @@ namespace qbe {
 /// text columns containing W; candidate projection-column retrieval (Eq. 3)
 /// intersects these sets across the non-empty cells of each ET column.
 ///
-/// Columns are identified by dense global ids assigned by the catalog. A
-/// token→column-set directory makes the common case (rare token) touch only
-/// the columns that can possibly match; phrase verification then runs on the
-/// per-column positional indexes.
+/// Columns are identified by dense global ids assigned by the catalog. The
+/// token→column-set directory is keyed by TokenDict id and fed from each
+/// per-column index's own distinct-token set, so registration re-reads no
+/// cell and probes hash integers, not strings.
 class ColumnIndex {
  public:
   ColumnIndex() = default;
 
   /// Registers the column with global id `column_gid`. Ids must be dense
   /// starting at 0 in registration order. The index pointer must outlive
-  /// this object (it is owned by the Database).
-  void RegisterColumn(int column_gid, const InvertedIndex* index,
-                      const std::vector<std::string>& cells);
+  /// this object (it is owned by the Database); all registered indexes must
+  /// share one TokenDict.
+  void RegisterColumn(int column_gid, const InvertedIndex* index);
 
-  /// Global ids of the distinct columns containing `phrase` (tokenized),
-  /// ascending. An empty phrase matches every column with at least one row.
+  /// Global ids of the distinct columns containing the phrase (as token
+  /// ids), ascending. An empty phrase matches every column with at least
+  /// one row.
+  std::vector<int> ColumnsContainingIds(std::span<const uint32_t> ids) const;
+
+  /// String-phrase compat wrapper; tokens resolve through the shared
+  /// dictionary's heterogeneous lookup.
   std::vector<int> ColumnsContaining(
       const std::vector<std::string>& phrase) const;
 
@@ -38,9 +46,10 @@ class ColumnIndex {
   size_t MemoryBytes() const;
 
  private:
+  const TokenDict* dict_ = nullptr;  // shared; set by first RegisterColumn
   std::vector<const InvertedIndex*> columns_;
-  // token -> sorted list of column gids whose cells contain the token.
-  std::unordered_map<std::string, std::vector<int>> token_columns_;
+  // token id -> sorted list of column gids whose cells contain the token.
+  std::unordered_map<uint32_t, std::vector<int>> token_columns_;
 };
 
 }  // namespace qbe

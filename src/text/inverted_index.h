@@ -2,10 +2,14 @@
 #define QBE_TEXT_INVERTED_INDEX_H_
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
+
+#include "text/token_dict.h"
 
 namespace qbe {
 
@@ -13,20 +17,69 @@ namespace qbe {
 /// equivalent of the per-column FTS index the paper builds in SQL Server
 /// (§3.1). Postings record (row, token position) so phrase queries
 /// ("tokens appear consecutively", Definition 2) are answered exactly.
+///
+/// Storage is CSR keyed by TokenDict id: one contiguous posting array
+/// (row<<32|position, ascending) plus per-token spans, so a probe is a
+/// hash-free id→span lookup — no std::string construction, no per-lookup
+/// allocation, and TokenRowCount is a precomputed O(1) read. The id→span
+/// table is a dense direct map when the shared dictionary is small relative
+/// to this column's token set, and a sorted id array with binary search
+/// otherwise (both allocation-free).
 class InvertedIndex {
  public:
-  struct Posting {
-    uint32_t row;
-    uint32_t position;
-  };
-
   InvertedIndex() = default;
 
-  /// Builds the index over `cells`; cell i belongs to row i.
-  void Build(const std::vector<std::string>& cells);
+  /// Builds the index over `cells`; cell i belongs to row i. Tokens are
+  /// interned into `dict` (the database-wide dictionary); with a null dict
+  /// the index owns a private one — the standalone single-column mode used
+  /// by tests and tools.
+  void Build(const std::vector<std::string>& cells, TokenDict* dict = nullptr);
+
+  // --- id-keyed API (the executor hot path) -------------------------------
+
+  /// Rows whose cell contains the phrase given as token ids, sorted
+  /// ascending, deduplicated, written into `*rows` (cleared first; capacity
+  /// is reused). An empty phrase matches every indexed row; a phrase
+  /// containing TokenDict::kNoToken matches nothing.
+  void MatchPhraseIdsInto(std::span<const uint32_t> ids,
+                          std::vector<uint32_t>* rows) const;
+  std::vector<uint32_t> MatchPhraseIds(std::span<const uint32_t> ids) const;
+
+  /// Rows whose whole cell tokenizes exactly to `ids` (the exact-match
+  /// predicate of §2.2 Remarks): the phrase starts at position 0 and the
+  /// cell has exactly ids.size() tokens. No cell re-tokenization.
+  void MatchExactIdsInto(std::span<const uint32_t> ids,
+                         std::vector<uint32_t>* rows) const;
+
+  /// True iff at least one row matches; stops at the first hit.
+  bool AnyMatchIds(std::span<const uint32_t> ids) const;
+
+  /// Number of distinct rows containing the token (0 if absent) — O(1),
+  /// precomputed at build.
+  size_t TokenRowCountId(uint32_t token_id) const;
+
+  /// Sorted distinct token ids of this column. ColumnIndex builds its
+  /// token→column directory from this instead of re-tokenizing every cell.
+  const std::vector<uint32_t>& distinct_token_ids() const {
+    return token_ids_;
+  }
+
+  /// The dictionary this index was built against (shared or owned).
+  const TokenDict& dict() const { return *dict_; }
+
+  /// Token count of `row`'s cell (backs exact-match without re-tokenizing).
+  /// Stored as uint16 — half the per-row footprint of the old layout; the
+  /// rare cell with ≥ 65535 tokens spills to a side map.
+  uint32_t RowTokenCount(uint32_t row) const {
+    const uint16_t count = row_token_counts_[row];
+    return count == kLongRow ? long_rows_.at(row) : count;
+  }
+
+  // --- string API (compat wrappers over the id-keyed core) ----------------
 
   /// Rows whose cell contains the phrase (already-tokenized), sorted
-  /// ascending, deduplicated. An empty phrase matches every indexed row.
+  /// ascending, deduplicated. Tokens are resolved through the dictionary's
+  /// heterogeneous lookup — no per-probe std::string is built.
   std::vector<uint32_t> MatchPhrase(
       const std::vector<std::string>& phrase) const;
 
@@ -45,13 +98,37 @@ class InvertedIndex {
 
   size_t num_rows() const { return num_rows_; }
 
-  /// Approximate heap footprint, for the harness's memory accounting.
+  /// Approximate heap footprint, for the harness's memory accounting. The
+  /// shared dictionary is excluded (Database accounts for it once); an
+  /// owned dictionary (standalone mode) is included.
   size_t MemoryBytes() const;
 
  private:
-  const std::vector<Posting>* Lookup(std::string_view token) const;
+  static constexpr uint32_t kNoSlot = UINT32_MAX;
+  static constexpr uint16_t kLongRow = UINT16_MAX;  // count spilled to map
 
-  std::unordered_map<std::string, std::vector<Posting>> postings_;
+  /// Slot of a token id, or kNoSlot. Hash-free: direct table or binary
+  /// search depending on the build-time density decision.
+  uint32_t SlotOf(uint32_t token_id) const;
+
+  static uint64_t PackPosting(uint32_t row, uint32_t position) {
+    return (static_cast<uint64_t>(row) << 32) | position;
+  }
+
+  const TokenDict* dict_ = nullptr;
+  std::unique_ptr<TokenDict> owned_dict_;  // standalone mode only
+
+  // CSR payload: postings_[offsets_[s] .. offsets_[s+1]) are the packed
+  // (row, position) postings of token token_ids_[s], ascending.
+  std::vector<uint64_t> postings_;
+  std::vector<uint32_t> token_ids_;   // slot → global token id, ascending
+  std::vector<uint32_t> offsets_;     // slot → postings begin; size slots+1
+  std::vector<uint32_t> row_counts_;  // slot → distinct-row count
+  // Dense id→slot map; empty when binary search over token_ids_ is the
+  // cheaper layout (a small column under a large shared dictionary).
+  std::vector<uint32_t> slot_of_id_;
+  std::vector<uint16_t> row_token_counts_;  // row → token count (clamped)
+  std::unordered_map<uint32_t, uint32_t> long_rows_;  // kLongRow overflow
   size_t num_rows_ = 0;
 };
 

@@ -1,0 +1,59 @@
+#include "text/token_dict.h"
+
+#include "text/tokenizer.h"
+
+namespace qbe {
+
+uint32_t TokenDict::Intern(std::string_view token) {
+  auto it = id_by_token_.find(token);
+  if (it != id_by_token_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(id_by_token_.size());
+  id_by_token_.emplace(std::string(token), id);
+  return id;
+}
+
+uint32_t TokenDict::Find(std::string_view token) const {
+  auto it = id_by_token_.find(token);
+  return it == id_by_token_.end() ? kNoToken : it->second;
+}
+
+uint32_t TokenDict::TokenizeIntern(std::string_view text,
+                                   std::vector<uint32_t>* out) {
+  uint32_t n = 0;
+  ForEachToken(text, [&](std::string_view token) {
+    out->push_back(Intern(token));
+    ++n;
+  });
+  return n;
+}
+
+void TokenDict::TokenizeIds(std::string_view text,
+                            std::vector<uint32_t>* out) const {
+  ForEachToken(text,
+               [&](std::string_view token) { out->push_back(Find(token)); });
+}
+
+std::vector<uint32_t> TokenDict::IdsOf(
+    const std::vector<std::string>& tokens) const {
+  std::vector<uint32_t> ids;
+  ids.reserve(tokens.size());
+  for (const std::string& token : tokens) ids.push_back(Find(token));
+  return ids;
+}
+
+void TokenDict::IdsOfInto(const std::vector<std::string>& tokens,
+                          std::vector<uint32_t>* out) const {
+  out->clear();
+  for (const std::string& token : tokens) out->push_back(Find(token));
+}
+
+size_t TokenDict::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& [token, id] : id_by_token_) {
+    (void)id;
+    bytes += token.size() + sizeof(uint32_t) + 48;  // node + bucket overhead
+  }
+  return bytes;
+}
+
+}  // namespace qbe

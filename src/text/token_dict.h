@@ -1,0 +1,75 @@
+#ifndef QBE_TEXT_TOKEN_DICT_H_
+#define QBE_TEXT_TOKEN_DICT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace qbe {
+
+/// Database-wide token dictionary: every distinct token across all indexed
+/// text columns gets a dense uint32 id, assigned in first-occurrence order
+/// at load time and immutable afterwards. Phrase predicates carry id
+/// vectors instead of string vectors, so the per-probe cost of the text
+/// substrate is integer compares — no string hashing, no allocation.
+///
+/// Ids are only meaningful relative to the dictionary that assigned them; a
+/// Database owns exactly one TokenDict shared by all of its inverted
+/// indexes and the master column index.
+class TokenDict {
+ public:
+  /// Sentinel for "token not in the dictionary". A phrase containing it
+  /// cannot match any indexed cell, but the slot is kept so phrase
+  /// positions stay aligned.
+  static constexpr uint32_t kNoToken = UINT32_MAX;
+
+  TokenDict() = default;
+  TokenDict(const TokenDict&) = delete;
+  TokenDict& operator=(const TokenDict&) = delete;
+
+  /// Id of `token`, interning it if unseen. Build-time only: interning
+  /// after indexes are built would produce ids no index knows about.
+  uint32_t Intern(std::string_view token);
+
+  /// Id of `token`, or kNoToken. Heterogeneous lookup — no std::string is
+  /// materialized for the probe.
+  uint32_t Find(std::string_view token) const;
+
+  /// Tokenizes `text` and appends one id per token, interning unseen
+  /// tokens. Returns the number of tokens appended.
+  uint32_t TokenizeIntern(std::string_view text, std::vector<uint32_t>* out);
+
+  /// Tokenizes `text` and appends one id per token; unseen tokens map to
+  /// kNoToken.
+  void TokenizeIds(std::string_view text, std::vector<uint32_t>* out) const;
+
+  /// Maps already-tokenized `tokens` to ids (kNoToken for unseen).
+  std::vector<uint32_t> IdsOf(const std::vector<std::string>& tokens) const;
+
+  /// Allocation-reusing variant of IdsOf: writes into `*out` (cleared
+  /// first; capacity is kept).
+  void IdsOfInto(const std::vector<std::string>& tokens,
+                 std::vector<uint32_t>* out) const;
+
+  size_t size() const { return id_by_token_.size(); }
+
+  /// Approximate heap footprint, for the harness's memory accounting.
+  size_t MemoryBytes() const;
+
+ private:
+  struct Hash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  std::unordered_map<std::string, uint32_t, Hash, std::equal_to<>>
+      id_by_token_;
+};
+
+}  // namespace qbe
+
+#endif  // QBE_TEXT_TOKEN_DICT_H_

@@ -1,6 +1,7 @@
 #ifndef QBE_TEXT_TOKENIZER_H_
 #define QBE_TEXT_TOKENIZER_H_
 
+#include <cctype>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -12,6 +13,24 @@ namespace qbe {
 /// iff Tokenize(x) occurs as a consecutive subsequence of Tokenize(y)
 /// (Definition 2 Remarks).
 std::vector<std::string> Tokenize(std::string_view text);
+
+/// Calls fn(std::string_view) once per token of `text`, in order, without
+/// materializing a token vector — the index-build path uses this to intern
+/// straight into a TokenDict. The view points into an internal buffer that
+/// is invalidated when fn returns; copy it if it must outlive the call.
+template <typename Fn>
+void ForEachToken(std::string_view text, Fn&& fn) {
+  std::string buf;
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      buf += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else if (!buf.empty()) {
+      fn(std::string_view(buf));
+      buf.clear();
+    }
+  }
+  if (!buf.empty()) fn(std::string_view(buf));
+}
 
 /// True iff `needle` occurs consecutively within `haystack`. An empty needle
 /// is contained in everything.

@@ -1,0 +1,48 @@
+#ifndef QBE_UTIL_INTERSECT_H_
+#define QBE_UTIL_INTERSECT_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace qbe {
+
+/// Intersection of two sorted, deduplicated uint32 row sets into `*out`
+/// (cleared first; capacity is reused). Linear merge for comparable sizes;
+/// when one side is ≥16x smaller, gallops — binary-probes the larger side
+/// with a shrinking search window — which is the shape semijoin reductions
+/// and selective-predicate seeds hit constantly (a handful of candidate
+/// rows against a large reduced set).
+inline void IntersectSortedInto(const std::vector<uint32_t>& a,
+                                const std::vector<uint32_t>& b,
+                                std::vector<uint32_t>* out) {
+  out->clear();
+  const std::vector<uint32_t>& small = a.size() <= b.size() ? a : b;
+  const std::vector<uint32_t>& large = a.size() <= b.size() ? b : a;
+  if (small.empty()) return;
+  if (large.size() / 16 >= small.size()) {
+    const uint32_t* lo = large.data();
+    const uint32_t* end = large.data() + large.size();
+    for (uint32_t v : small) {
+      lo = std::lower_bound(lo, end, v);
+      if (lo == end) break;
+      if (*lo == v) out->push_back(v);
+    }
+    return;
+  }
+  std::set_intersection(small.begin(), small.end(), large.begin(),
+                        large.end(), std::back_inserter(*out));
+}
+
+/// In-place variant: *a ∩= b, using *scratch as the output buffer (both
+/// vectors keep their capacity — no steady-state allocation).
+inline void IntersectSortedInPlace(std::vector<uint32_t>* a,
+                                   const std::vector<uint32_t>& b,
+                                   std::vector<uint32_t>* scratch) {
+  IntersectSortedInto(*a, b, scratch);
+  std::swap(*a, *scratch);
+}
+
+}  // namespace qbe
+
+#endif  // QBE_UTIL_INTERSECT_H_

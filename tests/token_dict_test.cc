@@ -1,0 +1,82 @@
+#include "text/token_dict.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/retailer.h"
+#include "storage/database.h"
+#include "text/inverted_index.h"
+
+namespace qbe {
+namespace {
+
+TEST(TokenDictTest, InternAssignsDenseIdsInFirstOccurrenceOrder) {
+  TokenDict dict;
+  EXPECT_EQ(dict.Intern("alpha"), 0u);
+  EXPECT_EQ(dict.Intern("beta"), 1u);
+  EXPECT_EQ(dict.Intern("alpha"), 0u);  // idempotent
+  EXPECT_EQ(dict.Intern("gamma"), 2u);
+  EXPECT_EQ(dict.size(), 3u);
+}
+
+TEST(TokenDictTest, FindReturnsNoTokenForUnseen) {
+  TokenDict dict;
+  dict.Intern("alpha");
+  EXPECT_EQ(dict.Find("alpha"), 0u);
+  EXPECT_EQ(dict.Find("missing"), TokenDict::kNoToken);
+  EXPECT_EQ(dict.Find(""), TokenDict::kNoToken);
+}
+
+TEST(TokenDictTest, TokenizeInternAndTokenizeIdsRoundTrip) {
+  TokenDict dict;
+  std::vector<uint32_t> ids;
+  EXPECT_EQ(dict.TokenizeIntern("Mike Jones, Mike!", &ids), 3u);
+  EXPECT_EQ(ids, (std::vector<uint32_t>{0, 1, 0}));
+
+  std::vector<uint32_t> again;
+  dict.TokenizeIds("mike JONES unknown", &again);
+  EXPECT_EQ(again, (std::vector<uint32_t>{0, 1, TokenDict::kNoToken}));
+}
+
+TEST(TokenDictTest, IdsOfKeepsPhrasePositionsAligned) {
+  TokenDict dict;
+  dict.Intern("red");
+  dict.Intern("fox");
+  std::vector<uint32_t> ids = dict.IdsOf({"red", "nope", "fox"});
+  EXPECT_EQ(ids, (std::vector<uint32_t>{0, TokenDict::kNoToken, 1}));
+
+  std::vector<uint32_t> into{7, 7, 7};
+  dict.IdsOfInto({"fox"}, &into);
+  EXPECT_EQ(into, (std::vector<uint32_t>{1}));
+}
+
+TEST(TokenDictTest, MemoryBytesGrowsWithEntries) {
+  TokenDict dict;
+  size_t empty = dict.MemoryBytes();
+  dict.Intern("some");
+  dict.Intern("tokens");
+  EXPECT_GT(dict.MemoryBytes(), empty);
+}
+
+TEST(TokenDictTest, DatabaseSharesOneDictAcrossAllIndexes) {
+  Database db = MakeRetailerDatabase();
+  const TokenDict& dict = db.token_dict();
+  EXPECT_GT(dict.size(), 0u);
+  for (int gid = 0; gid < db.TotalTextColumns(); ++gid) {
+    const InvertedIndex& index = db.TextIndex(db.TextColumnByGid(gid));
+    EXPECT_EQ(&index.dict(), &dict) << "gid " << gid;
+    // Every distinct token id of every column is a real dictionary id.
+    for (uint32_t id : index.distinct_token_ids()) {
+      EXPECT_LT(id, dict.size());
+    }
+  }
+}
+
+TEST(TokenDictTest, StandaloneIndexOwnsPrivateDict) {
+  InvertedIndex index;
+  index.Build({"solo build mode"});
+  EXPECT_EQ(index.dict().size(), 3u);
+  EXPECT_EQ(index.MatchPhrase({"solo"}), (std::vector<uint32_t>{0}));
+}
+
+}  // namespace
+}  // namespace qbe
