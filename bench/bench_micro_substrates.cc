@@ -51,7 +51,7 @@ BENCHMARK(BM_Tokenize);
 void BM_InvertedIndexBuild(benchmark::State& state) {
   const Database& db = ImdbDb();
   int person = db.RelationIdByName("person");
-  const std::vector<std::string>& cells = db.relation(person).TextColumn(1);
+  const TextColumnStore& cells = db.relation(person).TextColumn(1);
   for (auto _ : state) {
     InvertedIndex index;
     index.Build(cells);

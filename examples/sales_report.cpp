@@ -26,8 +26,8 @@ int main() {
   int sales = db.RelationIdByName("Sales");
   int app = db.RelationIdByName("App");
   // First token only — she does not know full names (Example 1).
-  auto first_token = [](const std::string& s) {
-    return s.substr(0, s.find(' '));
+  auto first_token = [](std::string_view s) {
+    return std::string(s.substr(0, s.find(' ')));
   };
   // Fragments of two actual sales (so the target query is non-empty).
   auto sale_fragment = [&](uint32_t sale_row, int* cust_out) {

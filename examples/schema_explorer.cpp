@@ -45,9 +45,9 @@ int main() {
   int person = db.RelationIdByName("person");
   int title = db.RelationIdByName("title");
   qbe::ExampleTable et({"who", "movie"});
-  et.AddRow({db.relation(person).TextAt(1, 10),
-             db.relation(title).TextAt(1, 20)});
-  et.AddRow({db.relation(person).TextAt(1, 11), ""});
+  et.AddRow({std::string(db.relation(person).TextAt(1, 10)),
+             std::string(db.relation(title).TextAt(1, 20))});
+  et.AddRow({std::string(db.relation(person).TextAt(1, 11)), ""});
 
   std::printf("Example table:\n");
   for (int r = 0; r < et.num_rows(); ++r) {
@@ -95,9 +95,9 @@ int main() {
   // Relaxed validity: add a bogus third row; strict discovery returns
   // nothing, min_row_support=2 recovers the queries for the good rows.
   qbe::ExampleTable with_typo({"who", "movie"});
-  with_typo.AddRow({db.relation(person).TextAt(1, 10),
-                    db.relation(title).TextAt(1, 20)});
-  with_typo.AddRow({db.relation(person).TextAt(1, 11), ""});
+  with_typo.AddRow({std::string(db.relation(person).TextAt(1, 10)),
+                    std::string(db.relation(title).TextAt(1, 20))});
+  with_typo.AddRow({std::string(db.relation(person).TextAt(1, 11)), ""});
   with_typo.AddRow({"noSuchPerson xq", "noSuchMovie zz"});
   qbe::DiscoveryOptions strict;
   qbe::DiscoveryOptions relaxed;

@@ -118,7 +118,7 @@ void Executor::Semijoin(NodeState* parent, int edge,
     // Parent holds the FK, child is the PK side.
     if (child.full) {
       if (db_.EdgeHasNoDangling(edge)) return;  // every FK row has a partner
-      const std::vector<uint32_t>& valid = db_.ValidFromRows(edge);
+      const std::span<const uint32_t> valid = db_.ValidFromRows(edge);
       if (parent->full) {
         parent->full = false;
         parent->rows.assign(valid.begin(), valid.end());
@@ -163,7 +163,7 @@ void Executor::Semijoin(NodeState* parent, int edge,
   // Parent is the PK side; child holds the FK.
   QBE_DCHECK(fk.to_rel == parent->rel);
   if (child.full) {
-    const std::vector<uint32_t>& referenced = db_.ReferencedRows(edge);
+    const std::span<const uint32_t> referenced = db_.ReferencedRows(edge);
     if (parent->full) {
       parent->full = false;
       parent->rows.assign(referenced.begin(), referenced.end());
@@ -434,7 +434,7 @@ std::vector<std::vector<std::string>> Executor::Materialize(
     for (const ColumnRef& col : projection) {
       int pos = vertex_pos[col.rel];
       QBE_CHECK_MSG(pos >= 0, "projection column outside join tree");
-      row.push_back(db_.relation(col.rel).TextAt(col.col, assignment[pos]));
+      row.emplace_back(db_.relation(col.rel).TextAt(col.col, assignment[pos]));
     }
     rows.push_back(std::move(row));
   }

@@ -1,0 +1,53 @@
+#ifndef QBE_SNAPSHOT_SNAPSHOT_H_
+#define QBE_SNAPSHOT_SNAPSHOT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace qbe {
+
+class Database;
+
+/// Serializes a built database to a `.qbes` snapshot at `path`: every
+/// relation column, the token dictionary arena, the per-column CSR text
+/// indexes and the per-edge join indexes, written as page-aligned sections
+/// with per-section XXH64 checksums (format.h). The resulting file is what
+/// Database::OpenSnapshot maps back in with zero copies. Returns false with
+/// a description in `*error` on I/O failure.
+bool WriteSnapshot(const Database& db, const std::string& path,
+                   std::string* error = nullptr);
+
+/// Full integrity check without constructing a database: header, directory
+/// and every section checksum, plus directory bounds. Returns false with
+/// the first problem described in `*error`.
+bool VerifySnapshot(const std::string& path, std::string* error = nullptr);
+
+/// One row of a snapshot's section directory, decoded for display.
+struct SnapshotSectionInfo {
+  std::string name;     // SectionKindName(kind)
+  uint32_t kind = 0;
+  uint32_t a = 0;       // relation / text-column gid / edge id
+  uint32_t b = 0;       // column id (id/text column sections)
+  uint64_t offset = 0;
+  uint64_t bytes = 0;
+  uint64_t elem_count = 0;
+  uint64_t checksum = 0;
+};
+
+/// Header + directory summary of a snapshot (the `qbe_snapshot info` dump).
+/// Requires a valid header and directory; section payloads are not hashed.
+struct SnapshotFileInfo {
+  uint32_t version = 0;
+  uint32_t page_size = 0;
+  uint64_t file_bytes = 0;
+  std::vector<SnapshotSectionInfo> sections;
+};
+
+std::optional<SnapshotFileInfo> ReadSnapshotInfo(const std::string& path,
+                                                 std::string* error = nullptr);
+
+}  // namespace qbe
+
+#endif  // QBE_SNAPSHOT_SNAPSHOT_H_

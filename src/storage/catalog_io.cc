@@ -2,6 +2,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <utility>
 
 #include "storage/csv.h"
 #include "util/string_util.h"
@@ -44,18 +45,37 @@ bool SaveDatabase(const Database& db, const std::string& dir) {
   return static_cast<bool>(manifest);
 }
 
-std::optional<Database> LoadDatabase(const std::string& dir) {
-  std::ifstream manifest(std::filesystem::path(dir) / kManifestName);
-  if (!manifest) return std::nullopt;
+std::optional<Database> LoadDatabase(const std::string& dir,
+                                     std::string* error) {
+  auto fail = [&](const std::string& message) -> std::optional<Database> {
+    if (error != nullptr) *error = message;
+    return std::nullopt;
+  };
+  const std::string manifest_path =
+      (std::filesystem::path(dir) / kManifestName).string();
+  if (!std::filesystem::is_directory(dir)) {
+    return fail("database directory does not exist: " + dir);
+  }
+  std::ifstream manifest(manifest_path);
+  if (!manifest) {
+    return fail("cannot open manifest " + manifest_path +
+                " (not a database directory?)");
+  }
 
   Database db;
   std::string line;
+  int line_no = 0;
   struct PendingFk {
     std::string from_rel, from_col, to_rel, to_col;
+    int line_no;
   };
   std::vector<PendingFk> fks;
+  auto at_line = [&](const std::string& message) {
+    return manifest_path + ":" + std::to_string(line_no) + ": " + message;
+  };
 
   while (std::getline(manifest, line)) {
+    ++line_no;
     std::string_view stripped = StripWhitespace(line);
     if (stripped.empty() || stripped[0] == '#') continue;
     std::vector<std::string> parts;
@@ -63,20 +83,34 @@ std::optional<Database> LoadDatabase(const std::string& dir) {
       if (!piece.empty()) parts.push_back(piece);
     }
     if (parts[0] == "relation") {
-      if (parts.size() != 4) return std::nullopt;
+      if (parts.size() != 4) {
+        return fail(at_line("expected 'relation <name> <file> <types>'"));
+      }
       const std::string& name = parts[1];
       std::string path = (std::filesystem::path(dir) / parts[2]).string();
+      if (!std::filesystem::exists(path)) {
+        return fail(at_line("relation file does not exist: " + path));
+      }
       std::optional<Relation> loaded = LoadRelationFromCsv(name, path);
-      if (!loaded.has_value()) return std::nullopt;
+      if (!loaded.has_value()) {
+        return fail(at_line("failed to parse CSV " + path +
+                            " (empty header or ragged rows)"));
+      }
       // Re-type columns per the manifest: CSV inference can misjudge (an
       // empty text column of digits), the manifest is authoritative.
       std::vector<std::string> types = SplitString(parts[3], ',');
       if (static_cast<int>(types.size()) != loaded->num_columns()) {
-        return std::nullopt;
+        return fail(at_line("manifest declares " +
+                            std::to_string(types.size()) + " columns but " +
+                            path + " has " +
+                            std::to_string(loaded->num_columns())));
       }
       std::vector<ColumnDef> defs;
       for (int c = 0; c < loaded->num_columns(); ++c) {
-        if (types[c] != "id" && types[c] != "text") return std::nullopt;
+        if (types[c] != "id" && types[c] != "text") {
+          return fail(at_line("unknown column type '" + types[c] +
+                              "' (expected id or text)"));
+        }
         defs.push_back(ColumnDef{loaded->columns()[c].name,
                                  types[c] == "id" ? ColumnType::kId
                                                   : ColumnType::kText});
@@ -87,21 +121,29 @@ std::optional<Database> LoadDatabase(const std::string& dir) {
         for (int c = 0; c < loaded->num_columns(); ++c) {
           if (defs[c].type == ColumnType::kId) {
             if (loaded->columns()[c].type != ColumnType::kId) {
-              return std::nullopt;  // manifest demands id, data is text
+              // Manifest demands id, data is text.
+              return fail(at_line("column '" + defs[c].name + "' of " + name +
+                                  " is declared id but holds non-integer "
+                                  "values"));
             }
             values.emplace_back(loaded->IdAt(c, row));
           } else if (loaded->columns()[c].type == ColumnType::kId) {
             values.emplace_back(std::to_string(loaded->IdAt(c, row)));
           } else {
-            values.emplace_back(loaded->TextAt(c, row));
+            values.emplace_back(std::string(loaded->TextAt(c, row)));
           }
         }
         retyped.AppendRow(values);
       }
+      if (db.RelationIdByName(name) >= 0) {
+        return fail(at_line("duplicate relation '" + name + "'"));
+      }
       db.AddRelation(std::move(retyped));
     } else if (parts[0] == "fk") {
       // fk A.x -> B.y
-      if (parts.size() != 4 || parts[2] != "->") return std::nullopt;
+      if (parts.size() != 4 || parts[2] != "->") {
+        return fail(at_line("expected 'fk A.x -> B.y'"));
+      }
       auto split_ref = [](const std::string& ref,
                           std::string* rel) -> std::optional<std::string> {
         size_t dot = ref.find('.');
@@ -112,18 +154,39 @@ std::optional<Database> LoadDatabase(const std::string& dir) {
       PendingFk fk;
       auto from_col = split_ref(parts[1], &fk.from_rel);
       auto to_col = split_ref(parts[3], &fk.to_rel);
-      if (!from_col || !to_col) return std::nullopt;
+      if (!from_col || !to_col) {
+        return fail(at_line("foreign key reference must be <rel>.<col>"));
+      }
       fk.from_col = *from_col;
       fk.to_col = *to_col;
+      fk.line_no = line_no;
       fks.push_back(std::move(fk));
     } else {
-      return std::nullopt;
+      return fail(at_line("unknown statement '" + parts[0] + "'"));
     }
   }
   for (const PendingFk& fk : fks) {
-    if (db.RelationIdByName(fk.from_rel) < 0 ||
-        db.RelationIdByName(fk.to_rel) < 0) {
-      return std::nullopt;
+    line_no = fk.line_no;
+    if (db.RelationIdByName(fk.from_rel) < 0) {
+      return fail(at_line("foreign key references unknown relation '" +
+                          fk.from_rel + "'"));
+    }
+    if (db.RelationIdByName(fk.to_rel) < 0) {
+      return fail(at_line("foreign key references unknown relation '" +
+                          fk.to_rel + "'"));
+    }
+    for (const auto& [rel, col] : {std::pair(fk.from_rel, fk.from_col),
+                                   std::pair(fk.to_rel, fk.to_col)}) {
+      const Relation& r = db.relation(db.RelationIdByName(rel));
+      int c = r.ColumnIndexByName(col);
+      if (c < 0) {
+        return fail(at_line("foreign key references unknown column '" + rel +
+                            "." + col + "'"));
+      }
+      if (r.columns()[c].type != ColumnType::kId) {
+        return fail(at_line("foreign key column '" + rel + "." + col +
+                            "' must have type id"));
+      }
     }
     db.AddForeignKey(fk.from_rel, fk.from_col, fk.to_rel, fk.to_col);
   }

@@ -20,9 +20,13 @@ namespace qbe {
 bool SaveDatabase(const Database& db, const std::string& dir);
 
 /// Loads a database saved by SaveDatabase (or hand-authored in the same
-/// format) and builds its indexes. Returns std::nullopt on any I/O or
-/// format error.
-std::optional<Database> LoadDatabase(const std::string& dir);
+/// format) and builds its indexes. On failure returns std::nullopt and, if
+/// `error` is non-null, a description that distinguishes a bad path
+/// (missing directory / manifest / CSV file) from a parse or schema error
+/// (with the offending manifest line or file named). Tools surface this in
+/// their startup messages.
+std::optional<Database> LoadDatabase(const std::string& dir,
+                                     std::string* error = nullptr);
 
 }  // namespace qbe
 

@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <string_view>
 
 namespace qbe {
 namespace {
@@ -16,9 +17,9 @@ bool ParsesAsInt(const std::string& s, int64_t* out) {
   return true;
 }
 
-std::string EscapeCsv(const std::string& s) {
-  bool needs_quotes = s.find_first_of(",\"\n") != std::string::npos;
-  if (!needs_quotes) return s;
+std::string EscapeCsv(std::string_view s) {
+  bool needs_quotes = s.find_first_of(",\"\n") != std::string_view::npos;
+  if (!needs_quotes) return std::string(s);
   std::string out = "\"";
   for (char c : s) {
     if (c == '"') out += '"';

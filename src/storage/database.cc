@@ -74,48 +74,38 @@ void Database::BuildIndexes() {
   fts_.resize(text_cols_.size());
   for (int gid = 0; gid < static_cast<int>(text_cols_.size()); ++gid) {
     const ColumnRef& ref = text_cols_[gid];
-    const std::vector<std::string>& cells =
-        relations_[ref.rel].TextColumn(ref.col);
-    fts_[gid].Build(cells, dict_.get());
+    fts_[gid].Build(relations_[ref.rel].TextColumn(ref.col), dict_.get());
     ci_.RegisterColumn(gid, &fts_[gid]);
   }
 
-  // PK hash indexes on every column referenced by a foreign key.
+  // PK/FK hash indexes on the declared key columns.
+  QBE_CHECK_MSG(BuildKeyMaps(/*reject_duplicate_pk=*/true),
+                "duplicate primary key value");
+  fk_distinct_.resize(fks_.size());
   for (const ForeignKey& fk : fks_) {
-    int64_t key = PkIndexKey(fk.to_rel, fk.to_col);
-    if (pk_indexes_.find(key) != pk_indexes_.end()) continue;
-    PkIndex index;
-    const std::vector<int64_t>& values =
-        relations_[fk.to_rel].IdColumn(fk.to_col);
-    for (uint32_t row = 0; row < values.size(); ++row) {
-      auto [it, inserted] = index.row_by_key.emplace(values[row], row);
-      QBE_CHECK_MSG(inserted, "duplicate primary key value");
-    }
-    pk_indexes_.emplace(key, std::move(index));
+    fk_distinct_[fk.id] =
+        static_cast<uint32_t>(fk_indexes_[fk.id].rows_by_key.size());
   }
 
-  // FK hash indexes, row-level join indexes and per-edge join statistics.
-  fk_indexes_.resize(fks_.size());
+  // Row-level join indexes and per-edge join statistics.
   edge_join_.resize(fks_.size());
   referenced_rows_.resize(fks_.size());
   edge_no_dangling_.assign(fks_.size(), 1);
   valid_from_rows_.resize(fks_.size());
   for (const ForeignKey& fk : fks_) {
-    const std::vector<int64_t>& values =
+    std::span<const int64_t> values =
         relations_[fk.from_rel].IdColumn(fk.from_col);
     const PkIndex& pk = pk_indexes_.at(PkIndexKey(fk.to_rel, fk.to_col));
-    FkIndex& index = fk_indexes_[fk.id];
     EdgeJoinIndex& join = edge_join_[fk.id];
-    std::vector<uint32_t>& referenced = referenced_rows_[fk.id];
-    std::vector<uint32_t>& valid_from = valid_from_rows_[fk.id];
-    join.parent_row.assign(values.size(), -1);
+    std::vector<uint32_t>& referenced = referenced_rows_[fk.id].MutableVec();
+    std::vector<uint32_t>& valid_from = valid_from_rows_[fk.id].MutableVec();
+    std::vector<int32_t> parent_row(values.size(), -1);
     for (uint32_t row = 0; row < values.size(); ++row) {
-      index.rows_by_key[values[row]].push_back(row);
       auto it = pk.row_by_key.find(values[row]);
       if (it == pk.row_by_key.end()) {
         edge_no_dangling_[fk.id] = 0;
       } else {
-        join.parent_row[row] = static_cast<int32_t>(it->second);
+        parent_row[row] = static_cast<int32_t>(it->second);
         valid_from.push_back(row);
         referenced.push_back(it->second);
       }
@@ -127,21 +117,61 @@ void Database::BuildIndexes() {
     // CSR of the reverse direction (to-row → referencing rows); filling in
     // ascending from-row order leaves each span sorted.
     const size_t to_rows = relations_[fk.to_rel].num_rows();
-    join.child_offsets.assign(to_rows + 1, 0);
-    for (int32_t parent : join.parent_row) {
-      if (parent >= 0) ++join.child_offsets[parent + 1];
+    std::vector<uint32_t> child_offsets(to_rows + 1, 0);
+    for (int32_t parent : parent_row) {
+      if (parent >= 0) ++child_offsets[parent + 1];
     }
     for (size_t i = 1; i <= to_rows; ++i) {
-      join.child_offsets[i] += join.child_offsets[i - 1];
+      child_offsets[i] += child_offsets[i - 1];
     }
-    join.child_rows.resize(join.child_offsets[to_rows]);
-    std::vector<uint32_t> cursor(join.child_offsets.begin(),
-                                 join.child_offsets.end() - 1);
+    std::vector<uint32_t> child_rows(child_offsets[to_rows]);
+    std::vector<uint32_t> cursor(child_offsets.begin(),
+                                 child_offsets.end() - 1);
     for (uint32_t row = 0; row < values.size(); ++row) {
-      int32_t parent = join.parent_row[row];
-      if (parent >= 0) join.child_rows[cursor[parent]++] = row;
+      int32_t parent = parent_row[row];
+      if (parent >= 0) child_rows[cursor[parent]++] = row;
+    }
+    join.parent_row = std::move(parent_row);
+    join.child_offsets = std::move(child_offsets);
+    join.child_rows = std::move(child_rows);
+  }
+}
+
+bool Database::BuildKeyMaps(bool reject_duplicate_pk) const {
+  for (const ForeignKey& fk : fks_) {
+    int64_t key = PkIndexKey(fk.to_rel, fk.to_col);
+    if (pk_indexes_.find(key) != pk_indexes_.end()) continue;
+    PkIndex index;
+    std::span<const int64_t> values =
+        relations_[fk.to_rel].IdColumn(fk.to_col);
+    index.row_by_key.reserve(values.size());
+    for (uint32_t row = 0; row < values.size(); ++row) {
+      auto [it, inserted] = index.row_by_key.emplace(values[row], row);
+      if (!inserted && reject_duplicate_pk) return false;
+    }
+    pk_indexes_.emplace(key, std::move(index));
+  }
+  fk_indexes_.clear();
+  fk_indexes_.resize(fks_.size());
+  for (const ForeignKey& fk : fks_) {
+    std::span<const int64_t> values =
+        relations_[fk.from_rel].IdColumn(fk.from_col);
+    FkIndex& index = fk_indexes_[fk.id];
+    for (uint32_t row = 0; row < values.size(); ++row) {
+      index.rows_by_key[values[row]].push_back(row);
     }
   }
+  key_maps_built_ = true;
+  return true;
+}
+
+void Database::EnsureKeyMaps() const {
+  std::call_once(*key_maps_once_, [this] {
+    // A duplicate PK in a snapshot keeps the first row: the mapped join
+    // indexes are the source of truth for joins, and a crafted file must
+    // never turn a lookup into a crash.
+    if (!key_maps_built_) BuildKeyMaps(/*reject_duplicate_pk=*/false);
+  });
 }
 
 int Database::TextColumnGid(const ColumnRef& ref) const {
@@ -164,6 +194,7 @@ std::string Database::QualifiedColumnName(const ColumnRef& ref) const {
 }
 
 int64_t Database::PkLookup(int rel, int col, int64_t key) const {
+  EnsureKeyMaps();
   auto it = pk_indexes_.find(PkIndexKey(rel, col));
   QBE_CHECK_MSG(it != pk_indexes_.end(), "no pk index on column");
   auto row = it->second.row_by_key.find(key);
@@ -172,17 +203,18 @@ int64_t Database::PkLookup(int rel, int col, int64_t key) const {
 }
 
 const std::vector<uint32_t>* Database::FkLookup(int edge, int64_t key) const {
+  EnsureKeyMaps();
   const FkIndex& index = fk_indexes_[edge];
   auto it = index.rows_by_key.find(key);
   return it == index.rows_by_key.end() ? nullptr : &it->second;
 }
 
-const std::vector<uint32_t>& Database::ReferencedRows(int edge) const {
-  return referenced_rows_[edge];
+std::span<const uint32_t> Database::ReferencedRows(int edge) const {
+  return referenced_rows_[edge].span();
 }
 
-const std::vector<uint32_t>& Database::ValidFromRows(int edge) const {
-  return valid_from_rows_[edge];
+std::span<const uint32_t> Database::ValidFromRows(int edge) const {
+  return valid_from_rows_[edge].span();
 }
 
 size_t Database::MemoryBytes() const {
@@ -192,10 +224,11 @@ size_t Database::MemoryBytes() const {
   if (dict_ != nullptr) bytes += dict_->MemoryBytes();
   bytes += ci_.MemoryBytes();
   for (const EdgeJoinIndex& join : edge_join_) {
-    bytes += join.parent_row.capacity() * sizeof(int32_t) +
-             (join.child_offsets.capacity() + join.child_rows.capacity()) *
-                 sizeof(uint32_t);
+    bytes += join.parent_row.OwnedBytes() + join.child_offsets.OwnedBytes() +
+             join.child_rows.OwnedBytes();
   }
+  for (const auto& rows : referenced_rows_) bytes += rows.OwnedBytes();
+  for (const auto& rows : valid_from_rows_) bytes += rows.OwnedBytes();
   return bytes;
 }
 

@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -12,6 +14,8 @@
 #include "text/column_index.h"
 #include "text/inverted_index.h"
 #include "text/token_dict.h"
+#include "util/mmap_file.h"
+#include "util/span_or_vec.h"
 
 namespace qbe {
 
@@ -67,6 +71,17 @@ class Database {
   /// index CI.
   void BuildIndexes();
 
+  /// Zero-copy cold start: maps a `.qbes` snapshot written by
+  /// WriteSnapshot (src/snapshot/) and points relation columns, the token
+  /// dictionary, the CSR text indexes and the join indexes at spans into
+  /// the mapping. Only the CI directory is rebuilt at load; the key-lookup
+  /// hash maps are deferred to the first PkLookup/FkLookup (EnsureKeyMaps).
+  /// A corrupt, truncated or version-mismatched snapshot is
+  /// rejected cleanly: returns std::nullopt with a description in
+  /// `*error`, never crashes. Defined in src/snapshot/reader.cc.
+  static std::optional<Database> OpenSnapshot(const std::string& path,
+                                              std::string* error = nullptr);
+
   // --- catalog ------------------------------------------------------------
 
   int num_relations() const { return static_cast<int>(relations_.size()); }
@@ -111,20 +126,20 @@ class Database {
 
   /// Rows of `to_rel` referenced by at least one `from_rel` row via `edge`
   /// (sorted distinct). Backs semijoins against an unfiltered child.
-  const std::vector<uint32_t>& ReferencedRows(int edge) const;
+  std::span<const uint32_t> ReferencedRows(int edge) const;
 
   /// True iff every `from_rel` row's FK value has a matching PK row
   /// (referential integrity holds for this edge).
   bool EdgeHasNoDangling(int edge) const { return edge_no_dangling_[edge]; }
 
   /// Rows of `from_rel` whose FK value has a matching PK row.
-  const std::vector<uint32_t>& ValidFromRows(int edge) const;
+  std::span<const uint32_t> ValidFromRows(int edge) const;
 
   /// Number of distinct FK values in `edge`'s referencing column — the
   /// denominator of the classic fanout estimate rows(from)/distinct(fk).
-  size_t FkDistinctValues(int edge) const {
-    return fk_indexes_[edge].rows_by_key.size();
-  }
+  /// Precomputed (and stored in snapshots) so the cardinality-stats path
+  /// never forces the value-keyed hash maps to exist.
+  size_t FkDistinctValues(int edge) const { return fk_distinct_[edge]; }
 
   /// Row of `to_rel` that `from_row` references via `edge`, or -1 if the FK
   /// value is dangling. Row-level join index: O(1) array read, no key
@@ -143,7 +158,17 @@ class Database {
 
   size_t MemoryBytes() const;
 
+  /// Bytes of the snapshot file this database is mapped from (0 when built
+  /// from source). These bytes are file-backed and evictable — they are
+  /// deliberately not part of MemoryBytes().
+  size_t MappedBytes() const {
+    return mapping_ != nullptr ? mapping_->size() : 0;
+  }
+
  private:
+  friend class SnapshotReader;
+  friend class SnapshotWriter;
+
   struct PkIndex {
     std::unordered_map<int64_t, uint32_t> row_by_key;
   };
@@ -152,11 +177,30 @@ class Database {
   };
   /// Row-level join index of one FK edge: both directions resolved to row
   /// indexes at build time so semijoins never touch the value-keyed hashes.
+  /// SpanOrVec: owned when built, aliased into the snapshot when mapped.
   struct EdgeJoinIndex {
-    std::vector<int32_t> parent_row;      // from-row → to-row, -1 dangling
-    std::vector<uint32_t> child_offsets;  // to-row → CSR begin; to_rows+1
-    std::vector<uint32_t> child_rows;     // referencing from-rows, ascending
+    SpanOrVec<int32_t> parent_row;      // from-row → to-row, -1 dangling
+    SpanOrVec<uint32_t> child_offsets;  // to-row → CSR begin; to_rows+1
+    SpanOrVec<uint32_t> child_rows;     // referencing from-rows, ascending
   };
+
+  /// Builds pk_indexes_ and fk_indexes_ from the id columns. Returns false
+  /// iff `reject_duplicate_pk` and a PK target column holds duplicate
+  /// values (a hard error at build time); in lenient mode the first row
+  /// wins. Const + mutable targets: the lazy path runs under a const
+  /// Database.
+  bool BuildKeyMaps(bool reject_duplicate_pk) const;
+
+  /// Lazily builds the value-keyed hash maps behind PkLookup/FkLookup.
+  /// Snapshot-opened databases skip them entirely at load time — the
+  /// executor only ever touches the mapped row-level join indexes — so the
+  /// per-row hashing happens on first lookup, if ever. Thread-safe.
+  void EnsureKeyMaps() const;
+
+  // Set only by the snapshot loader: the file mapping every SpanOrVec in
+  // mapped mode points into. Declared first so it is destroyed after every
+  // structure whose spans alias it.
+  std::unique_ptr<MemMap> mapping_;
 
   bool built_ = false;
   std::vector<Relation> relations_;
@@ -169,12 +213,20 @@ class Database {
   std::vector<InvertedIndex> fts_;                      // by gid
   ColumnIndex ci_;
 
-  std::unordered_map<int64_t, PkIndex> pk_indexes_;     // key: rel*4096+col
-  std::vector<FkIndex> fk_indexes_;                     // by edge id
+  // Value-keyed lookup maps: built eagerly by BuildIndexes (which needs
+  // them to resolve edges anyway), lazily on first use after a snapshot
+  // open. `mutable` + once_flag because the lazy build runs under const;
+  // the flag lives on the heap so Database stays movable.
+  mutable std::unordered_map<int64_t, PkIndex> pk_indexes_;  // rel*4096+col
+  mutable std::vector<FkIndex> fk_indexes_;             // by edge id
+  mutable bool key_maps_built_ = false;
+  mutable std::unique_ptr<std::once_flag> key_maps_once_ =
+      std::make_unique<std::once_flag>();
+  std::vector<uint32_t> fk_distinct_;                   // by edge id
   std::vector<EdgeJoinIndex> edge_join_;                // by edge id
-  std::vector<std::vector<uint32_t>> referenced_rows_;  // by edge id
+  std::vector<SpanOrVec<uint32_t>> referenced_rows_;    // by edge id
   std::vector<char> edge_no_dangling_;                  // by edge id
-  std::vector<std::vector<uint32_t>> valid_from_rows_;  // by edge id
+  std::vector<SpanOrVec<uint32_t>> valid_from_rows_;    // by edge id
 };
 
 }  // namespace qbe

@@ -22,11 +22,11 @@ void Relation::AppendRow(const std::vector<Value>& values) {
     if (defs_[i].type == ColumnType::kId) {
       QBE_CHECK_MSG(std::holds_alternative<int64_t>(values[i]),
                     defs_[i].name.c_str());
-      id_store_[slot_[i]].push_back(std::get<int64_t>(values[i]));
+      id_store_[slot_[i]].MutableVec().push_back(std::get<int64_t>(values[i]));
     } else {
       QBE_CHECK_MSG(std::holds_alternative<std::string>(values[i]),
                     defs_[i].name.c_str());
-      text_store_[slot_[i]].push_back(std::get<std::string>(values[i]));
+      text_store_[slot_[i]].Append(std::get<std::string>(values[i]));
     }
   }
   ++num_rows_;
@@ -40,9 +40,8 @@ int Relation::ColumnIndexByName(const std::string& name) const {
 
 size_t Relation::MemoryBytes() const {
   size_t bytes = 0;
-  for (const auto& col : id_store_) bytes += col.size() * sizeof(int64_t);
-  for (const auto& col : text_store_)
-    for (const std::string& s : col) bytes += s.size() + sizeof(std::string);
+  for (const auto& col : id_store_) bytes += col.OwnedBytes();
+  for (const auto& col : text_store_) bytes += col.MemoryBytes();
   return bytes;
 }
 

@@ -2,11 +2,15 @@
 #define QBE_STORAGE_RELATION_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
+#include <string_view>
 #include <variant>
 #include <vector>
 
+#include "storage/text_column.h"
 #include "util/check.h"
+#include "util/span_or_vec.h"
 
 namespace qbe {
 
@@ -25,7 +29,9 @@ using Value = std::variant<int64_t, std::string>;
 
 /// Column-oriented in-memory relation. Values are stored per column so the
 /// verification executor and the index builders touch only the columns they
-/// need.
+/// need. Id columns are SpanOrVec and text columns arena-backed
+/// TextColumnStore, so a snapshot load can alias every column into the
+/// mapped file instead of rebuilding it.
 class Relation {
  public:
   Relation(std::string name, std::vector<ColumnDef> columns);
@@ -38,19 +44,19 @@ class Relation {
     return id_store_[slot_[col]][row];
   }
 
-  const std::string& TextAt(int col, uint32_t row) const {
+  std::string_view TextAt(int col, uint32_t row) const {
     QBE_DCHECK(defs_[col].type == ColumnType::kText);
     return text_store_[slot_[col]][row];
   }
 
   /// Whole id column (for index construction).
-  const std::vector<int64_t>& IdColumn(int col) const {
+  std::span<const int64_t> IdColumn(int col) const {
     QBE_DCHECK(defs_[col].type == ColumnType::kId);
-    return id_store_[slot_[col]];
+    return id_store_[slot_[col]].span();
   }
 
   /// Whole text column (for index construction).
-  const std::vector<std::string>& TextColumn(int col) const {
+  const TextColumnStore& TextColumn(int col) const {
     QBE_DCHECK(defs_[col].type == ColumnType::kText);
     return text_store_[slot_[col]];
   }
@@ -66,11 +72,14 @@ class Relation {
   size_t MemoryBytes() const;
 
  private:
+  friend class SnapshotReader;
+  friend class SnapshotWriter;
+
   std::string name_;
   std::vector<ColumnDef> defs_;
   std::vector<int> slot_;  // defs_[i] lives at {id,text}_store_[slot_[i]]
-  std::vector<std::vector<int64_t>> id_store_;
-  std::vector<std::vector<std::string>> text_store_;
+  std::vector<SpanOrVec<int64_t>> id_store_;
+  std::vector<TextColumnStore> text_store_;
   uint32_t num_rows_ = 0;
 };
 

@@ -1,0 +1,85 @@
+#ifndef QBE_STORAGE_TEXT_COLUMN_H_
+#define QBE_STORAGE_TEXT_COLUMN_H_
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "util/check.h"
+#include "util/span_or_vec.h"
+
+namespace qbe {
+
+class SnapshotReader;
+class SnapshotWriter;
+
+/// One text column stored as a cell arena: all cell bytes concatenated plus
+/// a cell-boundary offset array (size() + 1 entries, offsets_[0] == 0).
+/// Compared to vector<std::string> this is one allocation instead of one
+/// per cell, and — because both arrays are SpanOrVec — a snapshot load can
+/// point the column straight into the mapped file with zero copies.
+class TextColumnStore {
+ public:
+  TextColumnStore() = default;
+
+  /// Appends one cell (owned/build mode only).
+  void Append(std::string_view cell) {
+    std::vector<char>& arena = arena_.MutableVec();
+    std::vector<uint32_t>& offsets = offsets_.MutableVec();
+    if (offsets.empty()) offsets.push_back(0);
+    QBE_CHECK_MSG(arena.size() + cell.size() <= UINT32_MAX,
+                  "text column arena exceeds 4 GiB");
+    arena.insert(arena.end(), cell.begin(), cell.end());
+    offsets.push_back(static_cast<uint32_t>(arena.size()));
+  }
+
+  uint32_t size() const {
+    return offsets_.size() <= 1 ? 0
+                                : static_cast<uint32_t>(offsets_.size() - 1);
+  }
+  bool empty() const { return size() == 0; }
+
+  std::string_view operator[](uint32_t row) const {
+    QBE_DCHECK(row < size());
+    return std::string_view(arena_.data() + offsets_[row],
+                            offsets_[row + 1] - offsets_[row]);
+  }
+  std::string_view At(uint32_t row) const { return (*this)[row]; }
+
+  /// Forward iteration over cells as string_views (index-based; the arena
+  /// has no per-cell objects to point at).
+  class Iterator {
+   public:
+    Iterator(const TextColumnStore* col, uint32_t row)
+        : col_(col), row_(row) {}
+    std::string_view operator*() const { return (*col_)[row_]; }
+    Iterator& operator++() {
+      ++row_;
+      return *this;
+    }
+    bool operator!=(const Iterator& other) const { return row_ != other.row_; }
+    bool operator==(const Iterator& other) const { return row_ == other.row_; }
+
+   private:
+    const TextColumnStore* col_;
+    uint32_t row_;
+  };
+  Iterator begin() const { return Iterator(this, 0); }
+  Iterator end() const { return Iterator(this, size()); }
+
+  size_t arena_bytes() const { return arena_.size(); }
+  size_t MemoryBytes() const {
+    return arena_.OwnedBytes() + offsets_.OwnedBytes();
+  }
+
+ private:
+  friend class SnapshotReader;
+  friend class SnapshotWriter;
+
+  SpanOrVec<char> arena_;
+  SpanOrVec<uint32_t> offsets_;  // empty, or size()+1 ascending from 0
+};
+
+}  // namespace qbe
+
+#endif  // QBE_STORAGE_TEXT_COLUMN_H_

@@ -2,14 +2,16 @@
 
 #include <algorithm>
 #include <numeric>
+#include <utility>
 
 #include "text/tokenizer.h"
 #include "util/intersect.h"
 
 namespace qbe {
 
-void InvertedIndex::Build(const std::vector<std::string>& cells,
-                          TokenDict* dict) {
+template <typename CellAt>
+void InvertedIndex::BuildImpl(size_t num_cells, const CellAt& cell_at,
+                              TokenDict* dict) {
   if (dict == nullptr) {
     owned_dict_ = std::make_unique<TokenDict>();
     dict = owned_dict_.get();
@@ -17,8 +19,8 @@ void InvertedIndex::Build(const std::vector<std::string>& cells,
     owned_dict_.reset();
   }
   dict_ = dict;
-  num_rows_ = cells.size();
-  row_token_counts_.assign(cells.size(), 0);
+  num_rows_ = num_cells;
+  std::vector<uint16_t> row_token_counts(num_cells, 0);
   long_rows_.clear();
 
   struct Occurrence {
@@ -26,20 +28,21 @@ void InvertedIndex::Build(const std::vector<std::string>& cells,
     uint64_t posting;
   };
   std::vector<Occurrence> occurrences;
-  for (uint32_t row = 0; row < cells.size(); ++row) {
+  for (uint32_t row = 0; row < num_cells; ++row) {
     uint32_t pos = 0;
-    ForEachToken(cells[row], [&](std::string_view token) {
+    ForEachToken(cell_at(row), [&](std::string_view token) {
       occurrences.push_back(
           Occurrence{dict->Intern(token), PackPosting(row, pos)});
       ++pos;
     });
     if (pos >= kLongRow) {
-      row_token_counts_[row] = kLongRow;
+      row_token_counts[row] = kLongRow;
       long_rows_[row] = pos;
     } else {
-      row_token_counts_[row] = static_cast<uint16_t>(pos);
+      row_token_counts[row] = static_cast<uint16_t>(pos);
     }
   }
+  row_token_counts_ = std::move(row_token_counts);
 
   // Counting sort by token id. Occurrences were generated in (row,
   // position) order, so each token's span comes out posting-sorted without
@@ -48,43 +51,81 @@ void InvertedIndex::Build(const std::vector<std::string>& cells,
   std::vector<uint32_t> slot_map(universe, kNoSlot);
   std::vector<uint32_t> counts(universe, 0);
   for (const Occurrence& o : occurrences) ++counts[o.token];
-  token_ids_.clear();
-  offsets_.assign(1, 0);
+  std::vector<uint32_t> token_ids;
+  std::vector<uint32_t> offsets(1, 0);
   for (uint32_t id = 0; id < universe; ++id) {
     if (counts[id] == 0) continue;
-    slot_map[id] = static_cast<uint32_t>(token_ids_.size());
-    token_ids_.push_back(id);
-    offsets_.push_back(offsets_.back() + counts[id]);
+    slot_map[id] = static_cast<uint32_t>(token_ids.size());
+    token_ids.push_back(id);
+    offsets.push_back(offsets.back() + counts[id]);
   }
-  postings_.resize(occurrences.size());
-  std::vector<uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  std::vector<uint64_t> postings(occurrences.size());
+  std::vector<uint32_t> cursor(offsets.begin(), offsets.end() - 1);
   for (const Occurrence& o : occurrences) {
-    postings_[cursor[slot_map[o.token]]++] = o.posting;
+    postings[cursor[slot_map[o.token]]++] = o.posting;
   }
 
-  row_counts_.assign(token_ids_.size(), 0);
-  for (size_t s = 0; s < token_ids_.size(); ++s) {
+  std::vector<uint32_t> row_counts(token_ids.size(), 0);
+  for (size_t s = 0; s < token_ids.size(); ++s) {
     uint32_t n = 0;
     uint32_t prev = UINT32_MAX;
-    for (uint32_t i = offsets_[s]; i < offsets_[s + 1]; ++i) {
-      uint32_t row = static_cast<uint32_t>(postings_[i] >> 32);
+    for (uint32_t i = offsets[s]; i < offsets[s + 1]; ++i) {
+      uint32_t row = static_cast<uint32_t>(postings[i] >> 32);
       if (row != prev) {
         ++n;
         prev = row;
       }
     }
-    row_counts_[s] = n;
+    row_counts[s] = n;
   }
 
   // Lookup layout: keep the dense id→slot table when its footprint is
   // within ~4x of the sorted-array alternative (O(1) probes); otherwise
   // drop it and binary-search token_ids_ (a small column sharing a large
   // database dictionary shouldn't pay 4 bytes per foreign token).
-  if (static_cast<size_t>(universe) <= token_ids_.size() * 4 + 64) {
+  if (static_cast<size_t>(universe) <= token_ids.size() * 4 + 64) {
     slot_of_id_ = std::move(slot_map);
   } else {
-    slot_of_id_.clear();
-    slot_of_id_.shrink_to_fit();
+    slot_of_id_ = std::vector<uint32_t>();
+  }
+  postings_ = std::move(postings);
+  token_ids_ = std::move(token_ids);
+  offsets_ = std::move(offsets);
+  row_counts_ = std::move(row_counts);
+}
+
+void InvertedIndex::Build(const std::vector<std::string>& cells,
+                          TokenDict* dict) {
+  BuildImpl(
+      cells.size(),
+      [&](uint32_t row) { return std::string_view(cells[row]); }, dict);
+}
+
+void InvertedIndex::Build(const TextColumnStore& cells, TokenDict* dict) {
+  BuildImpl(
+      cells.size(), [&](uint32_t row) { return cells[row]; }, dict);
+}
+
+void InvertedIndex::LoadMapped(const TokenDict* dict, size_t num_rows,
+                               SpanOrVec<uint64_t> postings,
+                               SpanOrVec<uint32_t> token_ids,
+                               SpanOrVec<uint32_t> offsets,
+                               SpanOrVec<uint32_t> row_counts,
+                               SpanOrVec<uint32_t> slot_of_id,
+                               SpanOrVec<uint16_t> row_token_counts,
+                               std::span<const uint32_t> long_row_pairs) {
+  owned_dict_.reset();
+  dict_ = dict;
+  num_rows_ = num_rows;
+  postings_ = std::move(postings);
+  token_ids_ = std::move(token_ids);
+  offsets_ = std::move(offsets);
+  row_counts_ = std::move(row_counts);
+  slot_of_id_ = std::move(slot_of_id);
+  row_token_counts_ = std::move(row_token_counts);
+  long_rows_.clear();
+  for (size_t i = 0; i + 1 < long_row_pairs.size(); i += 2) {
+    long_rows_[long_row_pairs[i]] = long_row_pairs[i + 1];
   }
 }
 
@@ -321,11 +362,9 @@ size_t InvertedIndex::TokenRowCount(std::string_view token) const {
 
 size_t InvertedIndex::MemoryBytes() const {
   size_t bytes =
-      postings_.capacity() * sizeof(uint64_t) +
-      (token_ids_.capacity() + offsets_.capacity() + row_counts_.capacity() +
-       slot_of_id_.capacity()) *
-          sizeof(uint32_t) +
-      row_token_counts_.capacity() * sizeof(uint16_t) +
+      postings_.OwnedBytes() + token_ids_.OwnedBytes() +
+      offsets_.OwnedBytes() + row_counts_.OwnedBytes() +
+      slot_of_id_.OwnedBytes() + row_token_counts_.OwnedBytes() +
       long_rows_.size() * 24;  // node + key/value estimate
   if (owned_dict_ != nullptr) bytes += owned_dict_->MemoryBytes();
   return bytes;

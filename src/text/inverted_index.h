@@ -9,7 +9,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "storage/text_column.h"
 #include "text/token_dict.h"
+#include "util/span_or_vec.h"
 
 namespace qbe {
 
@@ -25,6 +27,9 @@ namespace qbe {
 /// table is a dense direct map when the shared dictionary is small relative
 /// to this column's token set, and a sorted id array with binary search
 /// otherwise (both allocation-free).
+///
+/// Every CSR array is SpanOrVec: built from cells it is owned heap, loaded
+/// from a snapshot it aliases the mmap'd file (zero-copy cold start).
 class InvertedIndex {
  public:
   InvertedIndex() = default;
@@ -34,6 +39,9 @@ class InvertedIndex {
   /// the index owns a private one — the standalone single-column mode used
   /// by tests and tools.
   void Build(const std::vector<std::string>& cells, TokenDict* dict = nullptr);
+
+  /// Arena-backed overload (the Database build path).
+  void Build(const TextColumnStore& cells, TokenDict* dict = nullptr);
 
   // --- id-keyed API (the executor hot path) -------------------------------
 
@@ -60,8 +68,8 @@ class InvertedIndex {
 
   /// Sorted distinct token ids of this column. ColumnIndex builds its
   /// token→column directory from this instead of re-tokenizing every cell.
-  const std::vector<uint32_t>& distinct_token_ids() const {
-    return token_ids_;
+  std::span<const uint32_t> distinct_token_ids() const {
+    return token_ids_.span();
   }
 
   /// The dictionary this index was built against (shared or owned).
@@ -100,12 +108,30 @@ class InvertedIndex {
 
   /// Approximate heap footprint, for the harness's memory accounting. The
   /// shared dictionary is excluded (Database accounts for it once); an
-  /// owned dictionary (standalone mode) is included.
+  /// owned dictionary (standalone mode) is included. Mapped snapshot
+  /// sections are not heap and count as 0.
   size_t MemoryBytes() const;
 
  private:
+  friend class SnapshotReader;
+  friend class SnapshotWriter;
+
   static constexpr uint32_t kNoSlot = UINT32_MAX;
   static constexpr uint16_t kLongRow = UINT16_MAX;  // count spilled to map
+
+  /// Shared implementation of the two Build overloads: `cell_at(row)`
+  /// yields row's cell text.
+  template <typename CellAt>
+  void BuildImpl(size_t num_cells, const CellAt& cell_at, TokenDict* dict);
+
+  /// Snapshot load: adopt mapped CSR arrays (validated by the reader).
+  /// `long_row_pairs` is (row, count) pairs for cells clamped at kLongRow.
+  void LoadMapped(const TokenDict* dict, size_t num_rows,
+                  SpanOrVec<uint64_t> postings, SpanOrVec<uint32_t> token_ids,
+                  SpanOrVec<uint32_t> offsets, SpanOrVec<uint32_t> row_counts,
+                  SpanOrVec<uint32_t> slot_of_id,
+                  SpanOrVec<uint16_t> row_token_counts,
+                  std::span<const uint32_t> long_row_pairs);
 
   /// Slot of a token id, or kNoSlot. Hash-free: direct table or binary
   /// search depending on the build-time density decision.
@@ -120,14 +146,14 @@ class InvertedIndex {
 
   // CSR payload: postings_[offsets_[s] .. offsets_[s+1]) are the packed
   // (row, position) postings of token token_ids_[s], ascending.
-  std::vector<uint64_t> postings_;
-  std::vector<uint32_t> token_ids_;   // slot → global token id, ascending
-  std::vector<uint32_t> offsets_;     // slot → postings begin; size slots+1
-  std::vector<uint32_t> row_counts_;  // slot → distinct-row count
+  SpanOrVec<uint64_t> postings_;
+  SpanOrVec<uint32_t> token_ids_;   // slot → global token id, ascending
+  SpanOrVec<uint32_t> offsets_;     // slot → postings begin; size slots+1
+  SpanOrVec<uint32_t> row_counts_;  // slot → distinct-row count
   // Dense id→slot map; empty when binary search over token_ids_ is the
   // cheaper layout (a small column under a large shared dictionary).
-  std::vector<uint32_t> slot_of_id_;
-  std::vector<uint16_t> row_token_counts_;  // row → token count (clamped)
+  SpanOrVec<uint32_t> slot_of_id_;
+  SpanOrVec<uint16_t> row_token_counts_;  // row → token count (clamped)
   std::unordered_map<uint32_t, uint32_t> long_rows_;  // kLongRow overflow
   size_t num_rows_ = 0;
 };

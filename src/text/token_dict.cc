@@ -1,14 +1,19 @@
 #include "text/token_dict.h"
 
 #include "text/tokenizer.h"
+#include "util/check.h"
 
 namespace qbe {
 
 uint32_t TokenDict::Intern(std::string_view token) {
   auto it = id_by_token_.find(token);
   if (it != id_by_token_.end()) return it->second;
-  uint32_t id = static_cast<uint32_t>(id_by_token_.size());
-  id_by_token_.emplace(std::string(token), id);
+  QBE_CHECK_MSG(!mapped_, "cannot intern into a snapshot-mapped dictionary");
+  owned_tokens_.emplace_back(token);
+  std::string_view stored = owned_tokens_.back();
+  uint32_t id = static_cast<uint32_t>(token_by_id_.size());
+  token_by_id_.push_back(stored);
+  id_by_token_.emplace(stored, id);
   return id;
 }
 
@@ -47,11 +52,30 @@ void TokenDict::IdsOfInto(const std::vector<std::string>& tokens,
   for (const std::string& token : tokens) out->push_back(Find(token));
 }
 
+void TokenDict::LoadMappedArena(std::span<const char> arena,
+                                std::span<const uint32_t> offsets) {
+  QBE_CHECK(token_by_id_.empty());
+  QBE_CHECK(!offsets.empty());
+  const size_t n = offsets.size() - 1;
+  token_by_id_.reserve(n);
+  id_by_token_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::string_view token(arena.data() + offsets[i],
+                           offsets[i + 1] - offsets[i]);
+    token_by_id_.push_back(token);
+    id_by_token_.emplace(token, static_cast<uint32_t>(i));
+  }
+  mapped_ = true;
+}
+
 size_t TokenDict::MemoryBytes() const {
-  size_t bytes = 0;
+  size_t bytes = token_by_id_.capacity() * sizeof(std::string_view);
   for (const auto& [token, id] : id_by_token_) {
     (void)id;
-    bytes += token.size() + sizeof(uint32_t) + 48;  // node + bucket overhead
+    bytes += sizeof(uint32_t) + sizeof(std::string_view) + 48;  // node est.
+  }
+  if (!mapped_) {
+    for (const std::string& token : owned_tokens_) bytes += token.size();
   }
   return bytes;
 }

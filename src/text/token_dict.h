@@ -2,12 +2,17 @@
 #define QBE_TEXT_TOKEN_DICT_H_
 
 #include <cstdint>
+#include <deque>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
 namespace qbe {
+
+class SnapshotReader;
+class SnapshotWriter;
 
 /// Database-wide token dictionary: every distinct token across all indexed
 /// text columns gets a dense uint32 id, assigned in first-occurrence order
@@ -18,6 +23,11 @@ namespace qbe {
 /// Ids are only meaningful relative to the dictionary that assigned them; a
 /// Database owns exactly one TokenDict shared by all of its inverted
 /// indexes and the master column index.
+///
+/// Token bytes live either in per-token owned storage (build mode) or in a
+/// snapshot's mapped string arena (LoadMappedArena): the lookup map keys
+/// are string_views into that storage, so a snapshot load hashes each token
+/// once but copies no string bytes.
 class TokenDict {
  public:
   /// Sentinel for "token not in the dictionary". A phrase containing it
@@ -30,10 +40,11 @@ class TokenDict {
   TokenDict& operator=(const TokenDict&) = delete;
 
   /// Id of `token`, interning it if unseen. Build-time only: interning
-  /// after indexes are built would produce ids no index knows about.
+  /// after indexes are built would produce ids no index knows about, and
+  /// a mapped dictionary is immutable.
   uint32_t Intern(std::string_view token);
 
-  /// Id of `token`, or kNoToken. Heterogeneous lookup — no std::string is
+  /// Id of `token`, or kNoToken. String_view lookup — no std::string is
   /// materialized for the probe.
   uint32_t Find(std::string_view token) const;
 
@@ -53,12 +64,28 @@ class TokenDict {
   void IdsOfInto(const std::vector<std::string>& tokens,
                  std::vector<uint32_t>* out) const;
 
-  size_t size() const { return id_by_token_.size(); }
+  /// The token spelled by `id` (valid for ids < size()). Backs snapshot
+  /// serialization of the string arena.
+  std::string_view TokenAt(uint32_t id) const { return token_by_id_[id]; }
+
+  /// Rebinds the dictionary to a snapshot's mapped string arena:
+  /// `offsets` has n+1 ascending entries delimiting token i's bytes in
+  /// `arena`. Rebuilds the lookup map over views into the mapping (no
+  /// string copies); Intern becomes illegal afterwards.
+  void LoadMappedArena(std::span<const char> arena,
+                       std::span<const uint32_t> offsets);
+
+  bool mapped() const { return mapped_; }
+
+  size_t size() const { return token_by_id_.size(); }
 
   /// Approximate heap footprint, for the harness's memory accounting.
   size_t MemoryBytes() const;
 
  private:
+  friend class SnapshotReader;
+  friend class SnapshotWriter;
+
   struct Hash {
     using is_transparent = void;
     size_t operator()(std::string_view s) const {
@@ -66,8 +93,11 @@ class TokenDict {
     }
   };
 
-  std::unordered_map<std::string, uint32_t, Hash, std::equal_to<>>
+  std::unordered_map<std::string_view, uint32_t, Hash, std::equal_to<>>
       id_by_token_;
+  std::vector<std::string_view> token_by_id_;  // id → spelling
+  std::deque<std::string> owned_tokens_;  // build-mode backing (stable addrs)
+  bool mapped_ = false;
 };
 
 }  // namespace qbe

@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace qbe {
@@ -12,13 +13,14 @@ namespace qbe {
 /// when one side is ≥16x smaller, gallops — binary-probes the larger side
 /// with a shrinking search window — which is the shape semijoin reductions
 /// and selective-predicate seeds hit constantly (a handful of candidate
-/// rows against a large reduced set).
-inline void IntersectSortedInto(const std::vector<uint32_t>& a,
-                                const std::vector<uint32_t>& b,
+/// rows against a large reduced set). Inputs are spans so both owned
+/// vectors and mmap'd snapshot sections (SpanOrVec) feed the same kernel.
+inline void IntersectSortedInto(std::span<const uint32_t> a,
+                                std::span<const uint32_t> b,
                                 std::vector<uint32_t>* out) {
   out->clear();
-  const std::vector<uint32_t>& small = a.size() <= b.size() ? a : b;
-  const std::vector<uint32_t>& large = a.size() <= b.size() ? b : a;
+  const std::span<const uint32_t> small = a.size() <= b.size() ? a : b;
+  const std::span<const uint32_t> large = a.size() <= b.size() ? b : a;
   if (small.empty()) return;
   if (large.size() / 16 >= small.size()) {
     const uint32_t* lo = large.data();
@@ -37,7 +39,7 @@ inline void IntersectSortedInto(const std::vector<uint32_t>& a,
 /// In-place variant: *a ∩= b, using *scratch as the output buffer (both
 /// vectors keep their capacity — no steady-state allocation).
 inline void IntersectSortedInPlace(std::vector<uint32_t>* a,
-                                   const std::vector<uint32_t>& b,
+                                   std::span<const uint32_t> b,
                                    std::vector<uint32_t>* scratch) {
   IntersectSortedInto(*a, b, scratch);
   std::swap(*a, *scratch);

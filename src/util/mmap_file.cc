@@ -1,0 +1,66 @@
+#include "util/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace qbe {
+
+std::optional<MemMap> MemMap::Open(const std::string& path,
+                                   std::string* error) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (error != nullptr) {
+      *error = "cannot open " + path + ": " + std::strerror(errno);
+    }
+    return std::nullopt;
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    if (error != nullptr) {
+      *error = "cannot stat " + path + ": " + std::strerror(errno);
+    }
+    ::close(fd);
+    return std::nullopt;
+  }
+  MemMap map;
+  map.size_ = static_cast<size_t>(st.st_size);
+  if (map.size_ > 0) {
+    void* addr = ::mmap(nullptr, map.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr == MAP_FAILED) {
+      if (error != nullptr) {
+        *error = "cannot mmap " + path + ": " + std::strerror(errno);
+      }
+      ::close(fd);
+      return std::nullopt;
+    }
+    map.addr_ = addr;
+  }
+  // The mapping keeps the file alive; the descriptor is no longer needed.
+  ::close(fd);
+  return map;
+}
+
+MemMap::MemMap(MemMap&& other) noexcept
+    : addr_(std::exchange(other.addr_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+MemMap& MemMap::operator=(MemMap&& other) noexcept {
+  if (this != &other) {
+    if (addr_ != nullptr) ::munmap(addr_, size_);
+    addr_ = std::exchange(other.addr_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+MemMap::~MemMap() {
+  if (addr_ != nullptr) ::munmap(addr_, size_);
+}
+
+}  // namespace qbe

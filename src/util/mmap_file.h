@@ -1,0 +1,42 @@
+#ifndef QBE_UTIL_MMAP_FILE_H_
+#define QBE_UTIL_MMAP_FILE_H_
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string>
+
+namespace qbe {
+
+/// Read-only memory mapping of a whole file (RAII). The snapshot loader
+/// points SpanOrVec storage into the mapping, so a MemMap must outlive
+/// every structure loaded from it — Database keeps its mapping as a member.
+///
+/// Open() never throws and never aborts: a missing or unreadable file is
+/// reported through `*error` so callers (service startup, CLI) can fall
+/// back gracefully.
+class MemMap {
+ public:
+  static std::optional<MemMap> Open(const std::string& path,
+                                    std::string* error);
+
+  MemMap(MemMap&& other) noexcept;
+  MemMap& operator=(MemMap&& other) noexcept;
+  MemMap(const MemMap&) = delete;
+  MemMap& operator=(const MemMap&) = delete;
+  ~MemMap();
+
+  const char* data() const { return static_cast<const char*>(addr_); }
+  size_t size() const { return size_; }
+  std::span<const char> bytes() const { return {data(), size_}; }
+
+ private:
+  MemMap() = default;
+
+  void* addr_ = nullptr;  // nullptr for an empty file
+  size_t size_ = 0;
+};
+
+}  // namespace qbe
+
+#endif  // QBE_UTIL_MMAP_FILE_H_

@@ -1,0 +1,75 @@
+#ifndef QBE_UTIL_SPAN_OR_VEC_H_
+#define QBE_UTIL_SPAN_OR_VEC_H_
+
+#include <cstddef>
+#include <span>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace qbe {
+
+/// Read-mostly array storage that is either an owned std::vector (the
+/// build-from-source path) or a borrowed span into an mmap'd snapshot (the
+/// zero-copy cold-start path). Query code reads through data()/operator[]
+/// and cannot tell the modes apart; build code obtains the owned vector via
+/// MutableVec(), which is illegal in mapped mode.
+///
+/// The element type must be trivially copyable: mapped mode reinterprets
+/// raw snapshot bytes as T and never runs constructors.
+template <typename T>
+class SpanOrVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SpanOrVec elements are raw snapshot bytes");
+
+ public:
+  SpanOrVec() = default;
+  /*implicit*/ SpanOrVec(std::vector<T> own) : own_(std::move(own)) {}
+  SpanOrVec& operator=(std::vector<T> own) {
+    own_ = std::move(own);
+    view_ = {};
+    mapped_ = false;
+    return *this;
+  }
+
+  /// Borrowing mode: `view` must outlive this object (it points into a
+  /// MemMap the Database keeps alive).
+  static SpanOrVec Mapped(std::span<const T> view) {
+    SpanOrVec s;
+    s.view_ = view;
+    s.mapped_ = true;
+    return s;
+  }
+
+  const T* data() const { return mapped_ ? view_.data() : own_.data(); }
+  size_t size() const { return mapped_ ? view_.size() : own_.size(); }
+  bool empty() const { return size() == 0; }
+  const T& operator[](size_t i) const { return data()[i]; }
+  const T& back() const { return data()[size() - 1]; }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size(); }
+  std::span<const T> span() const { return {data(), size()}; }
+  bool is_mapped() const { return mapped_; }
+
+  /// The owned vector, for build-time mutation. Checked against mapped
+  /// mode: a snapshot-backed array is immutable by construction.
+  std::vector<T>& MutableVec() {
+    QBE_CHECK_MSG(!mapped_, "cannot mutate mapped snapshot storage");
+    return own_;
+  }
+
+  /// Heap bytes owned by this object — 0 in mapped mode, where the bytes
+  /// belong to the file mapping and are shared/evictable.
+  size_t OwnedBytes() const { return own_.capacity() * sizeof(T); }
+
+ private:
+  std::vector<T> own_;
+  std::span<const T> view_;
+  bool mapped_ = false;
+};
+
+}  // namespace qbe
+
+#endif  // QBE_UTIL_SPAN_OR_VEC_H_

@@ -77,6 +77,24 @@ TEST_F(CatalogIoTest, MissingManifestFails) {
   EXPECT_FALSE(LoadDatabase(TempDir("missing")).has_value());
 }
 
+TEST_F(CatalogIoTest, ErrorsDistinguishBadPathFromParseFailure) {
+  // A wrong path and a malformed manifest are different operator mistakes;
+  // the error text must make clear which one happened (and where).
+  std::string missing = TempDir("err_path");
+  std::string error;
+  EXPECT_FALSE(LoadDatabase(missing, &error).has_value());
+  EXPECT_NE(error.find("does not exist"), std::string::npos) << error;
+  EXPECT_NE(error.find(missing), std::string::npos) << error;
+
+  std::string dir = TempDir("err_parse");
+  std::filesystem::create_directories(dir);
+  std::ofstream(dir + "/schema.manifest") << "relation broken\n";
+  error.clear();
+  EXPECT_FALSE(LoadDatabase(dir, &error).has_value());
+  EXPECT_NE(error.find("schema.manifest:1:"), std::string::npos) << error;
+  EXPECT_NE(error.find("relation"), std::string::npos) << error;
+}
+
 TEST_F(CatalogIoTest, BadManifestLinesFail) {
   std::string dir = TempDir("bad");
   std::filesystem::create_directories(dir);

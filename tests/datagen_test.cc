@@ -144,7 +144,7 @@ TEST(CustLikeTest, StatusColumnsUsePerRelationVocabularies) {
     if (col < 0 || rel.num_rows() < 50) continue;
     std::set<std::string> distinct;
     for (uint32_t row = 0; row < rel.num_rows(); ++row) {
-      distinct.insert(rel.TextAt(col, row));
+      distinct.insert(std::string(rel.TextAt(col, row)));
     }
     EXPECT_LE(distinct.size(), 4u) << rel.name();
     ++checked;
@@ -162,7 +162,7 @@ TEST(CustLikeTest, RepeatDomainColumnsAreLongTail) {
   auto top_share = [](const Relation& rel, int col) {
     std::map<std::string, int> counts;
     for (uint32_t row = 0; row < rel.num_rows(); ++row) {
-      counts[rel.TextAt(col, row)] += 1;
+      counts[std::string(rel.TextAt(col, row))] += 1;
     }
     int top = 0;
     for (const auto& [value, count] : counts) top = std::max(top, count);

@@ -45,7 +45,7 @@ std::set<std::vector<uint32_t>> BruteForceAssignments(
     }
     if (ok) {
       for (const PhrasePredicate& pred : predicates) {
-        const std::string& cell =
+        const std::string_view cell =
             db.relation(pred.column.rel)
                 .TextAt(pred.column.col, current[vertex_pos(pred.column.rel)]);
         if (!IsTokenSubsequence(pred.tokens, Tokenize(cell))) {
@@ -91,7 +91,7 @@ TEST(ExecutorMaterializeTest, PropertyMatchesBruteForceExactly) {
         for (int c = 0; c < rel.num_columns(); ++c) {
           if (rel.columns()[c].type == ColumnType::kText &&
               rel.num_rows() > 0) {
-            const std::string& cell =
+            const std::string_view cell =
                 rel.TextAt(c, rng.NextBounded(rel.num_rows()));
             std::vector<std::string> tokens = Tokenize(cell);
             predicates.push_back(PhrasePredicate{

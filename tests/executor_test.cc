@@ -158,7 +158,7 @@ TEST_F(ExecutorTest, PropertyAgreesWithBruteForce) {
           // Half the time probe with a value drawn from the column itself.
           std::string phrase;
           if (rng.NextBool(0.5) && rel.num_rows() > 0) {
-            const std::string& cell =
+            const std::string_view cell =
                 rel.TextAt(c, rng.NextBounded(rel.num_rows()));
             std::vector<std::string> tokens = Tokenize(cell);
             phrase = tokens[rng.NextBounded(tokens.size())];

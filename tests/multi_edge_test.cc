@@ -101,8 +101,11 @@ TEST_F(MultiEdgeTest, CandidatesDistinguishParallelEdges) {
 
 TEST_F(MultiEdgeTest, ReferencedRowsPerEdge) {
   // Edge 0 (home): teams 1 and 3 host; edge 1 (away): teams 2 and 3 visit.
-  EXPECT_EQ(db_.ReferencedRows(0), (std::vector<uint32_t>{0, 2}));
-  EXPECT_EQ(db_.ReferencedRows(1), (std::vector<uint32_t>{1, 2}));
+  auto to_vec = [](std::span<const uint32_t> s) {
+    return std::vector<uint32_t>(s.begin(), s.end());
+  };
+  EXPECT_EQ(to_vec(db_.ReferencedRows(0)), (std::vector<uint32_t>{0, 2}));
+  EXPECT_EQ(to_vec(db_.ReferencedRows(1)), (std::vector<uint32_t>{1, 2}));
 }
 
 TEST_F(MultiEdgeTest, SqlRendersBothJoinConditionsDistinctly) {

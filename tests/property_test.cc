@@ -283,7 +283,9 @@ std::vector<std::string> SampleTexts(const Database& db, int limit) {
       if (rel.columns()[c].type != ColumnType::kText) continue;
       for (uint32_t row = 0; row < rel.num_rows() && texts.size() <
                                  static_cast<size_t>(limit); ++row) {
-        if (!rel.TextAt(c, row).empty()) texts.push_back(rel.TextAt(c, row));
+        if (!rel.TextAt(c, row).empty()) {
+          texts.emplace_back(rel.TextAt(c, row));
+        }
       }
     }
   }

@@ -91,7 +91,8 @@ TEST_F(DatabaseTest, ReferencedRowsAndDangling) {
   const ForeignKey& fk = db_.foreign_key(esr_emp_edge);
   EXPECT_EQ(db_.relation(fk.from_rel).name(), "ESR");
   EXPECT_EQ(db_.relation(fk.to_rel).name(), "Employee");
-  EXPECT_EQ(db_.ReferencedRows(esr_emp_edge),
+  std::span<const uint32_t> referenced = db_.ReferencedRows(esr_emp_edge);
+  EXPECT_EQ(std::vector<uint32_t>(referenced.begin(), referenced.end()),
             (std::vector<uint32_t>{0, 1}));
 }
 
@@ -107,8 +108,11 @@ TEST_F(DatabaseTest, DanglingForeignKeyDetected) {
   int edge = db.AddForeignKey("Fact", "id", "Dim", "id");
   db.BuildIndexes();
   EXPECT_FALSE(db.EdgeHasNoDangling(edge));
-  EXPECT_EQ(db.ValidFromRows(edge), (std::vector<uint32_t>{0}));
-  EXPECT_EQ(db.ReferencedRows(edge), (std::vector<uint32_t>{0}));
+  auto to_vec = [](std::span<const uint32_t> s) {
+    return std::vector<uint32_t>(s.begin(), s.end());
+  };
+  EXPECT_EQ(to_vec(db.ValidFromRows(edge)), (std::vector<uint32_t>{0}));
+  EXPECT_EQ(to_vec(db.ReferencedRows(edge)), (std::vector<uint32_t>{0}));
 }
 
 TEST_F(DatabaseTest, QualifiedColumnName) {

@@ -86,7 +86,7 @@ inline bool BruteForceExists(const Database& db, const SchemaGraph& graph,
     }
     if (ok) {
       for (const PhrasePredicate& pred : predicates) {
-        const std::string& cell =
+        const std::string_view cell =
             db.relation(pred.column.rel)
                 .TextAt(pred.column.col,
                         assignment[vertex_pos(pred.column.rel)]);

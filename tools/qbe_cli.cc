@@ -4,6 +4,7 @@
 //           [--algorithm verifyall|simpleprune|filter|weave]
 //           [--max-join-length N] [--min-row-support K]
 //           [--explain] [--top N]
+//   qbe_cli --snapshot FILE.qbes --row ...   mmap a qbe_snapshot build
 //   qbe_cli --demo DIR      write the Figure 1 retailer database to DIR
 //
 // The database directory is the SaveDatabase/LoadDatabase format: one CSV
@@ -31,6 +32,7 @@ void PrintUsage() {
       "               [--algorithm verifyall|simpleprune|filter|weave]\n"
       "               [--max-join-length N] [--min-row-support K]\n"
       "               [--explain] [--top N]\n"
+      "       qbe_cli --snapshot FILE.qbes --row ...\n"
       "       qbe_cli --demo DIR\n");
 }
 
@@ -47,6 +49,7 @@ std::optional<qbe::Algorithm> ParseAlgorithm(const std::string& name) {
 
 int main(int argc, char** argv) {
   std::string db_dir;
+  std::string snapshot_path;
   std::string demo_dir;
   std::vector<std::vector<std::string>> rows;
   qbe::DiscoveryOptions options;
@@ -60,6 +63,8 @@ int main(int argc, char** argv) {
     };
     if (arg == "--db") {
       if (const char* v = next()) db_dir = v;
+    } else if (arg == "--snapshot") {
+      if (const char* v = next()) snapshot_path = v;
     } else if (arg == "--demo") {
       if (const char* v = next()) demo_dir = v;
     } else if (arg == "--row") {
@@ -100,14 +105,17 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  if (db_dir.empty() || rows.empty()) {
+  if ((db_dir.empty() && snapshot_path.empty()) || rows.empty()) {
     PrintUsage();
     return 2;
   }
-  std::optional<qbe::Database> db = qbe::LoadDatabase(db_dir);
+  std::string load_error;
+  std::optional<qbe::Database> db =
+      snapshot_path.empty() ? qbe::LoadDatabase(db_dir, &load_error)
+                            : qbe::Database::OpenSnapshot(snapshot_path,
+                                                          &load_error);
   if (!db.has_value()) {
-    std::fprintf(stderr, "failed to load database from %s\n",
-                 db_dir.c_str());
+    std::fprintf(stderr, "failed to load database: %s\n", load_error.c_str());
     return 1;
   }
   std::printf("loaded %d relations, %zu foreign keys, %d text columns\n",

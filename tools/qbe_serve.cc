@@ -3,9 +3,15 @@
 // shared service and prints the metrics dump.
 //
 //   qbe_serve [--dataset retailer|imdb] [--scale S]
+//             [--snapshot FILE.qbes]
 //             [--requests FILE] [--repeat R]
 //             [--clients N] [--workers N] [--queue-depth N]
 //             [--timeout-ms T] [--algorithm verifyall|simpleprune|filter|weave]
+//
+// With --snapshot, the database is mmap'd from a `.qbes` snapshot written
+// by `qbe_snapshot build` (zero-copy cold start) instead of being generated;
+// a corrupt or incompatible snapshot is reported and the server falls back
+// to generating the requested dataset.
 //
 // Request file format: one request per line; rows separated by ';', cells
 // by '|' (same cell syntax as qbe_cli --row). Example line for Figure 2:
@@ -40,6 +46,7 @@ void PrintUsage() {
   std::fprintf(
       stderr,
       "usage: qbe_serve [--dataset retailer|imdb] [--scale S]\n"
+      "                 [--snapshot FILE.qbes]\n"
       "                 [--requests FILE] [--repeat R]\n"
       "                 [--clients N] [--workers N] [--queue-depth N]\n"
       "                 [--timeout-ms T] [--verify-threads N]\n"
@@ -88,6 +95,14 @@ std::vector<qbe::ExampleTable> BuiltinImdbWorkload(const qbe::Database& db) {
   qbe::SchemaGraph graph(db);
   qbe::Executor exec(db, graph);
   qbe::EtSource source(db, graph, exec, /*seed=*/7);
+  if (source.num_matrices() == 0) {
+    // Too small or text-poor to sample from (e.g. a retailer snapshot);
+    // the fixed Figure 2 workload at least exercises the serving path.
+    std::fprintf(stderr,
+                 "warning: database too small to sample a workload from; "
+                 "using the built-in retailer requests\n");
+    return BuiltinRetailerWorkload();
+  }
   qbe::EtParams params;
   params.m = 2;
   params.n = 2;
@@ -99,6 +114,7 @@ std::vector<qbe::ExampleTable> BuiltinImdbWorkload(const qbe::Database& db) {
 
 int main(int argc, char** argv) {
   std::string dataset = "retailer";
+  std::string snapshot_path;
   std::string requests_file;
   double scale = 0.1;
   int repeat = 4;
@@ -115,6 +131,8 @@ int main(int argc, char** argv) {
       if (const char* v = next()) dataset = v;
     } else if (arg == "--scale") {
       if (const char* v = next()) scale = std::atof(v);
+    } else if (arg == "--snapshot") {
+      if (const char* v = next()) snapshot_path = v;
     } else if (arg == "--requests") {
       if (const char* v = next()) requests_file = v;
     } else if (arg == "--repeat") {
@@ -160,10 +178,31 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown dataset %s\n", dataset.c_str());
     return 2;
   }
-  qbe::Database db = dataset == "retailer"
-                         ? qbe::MakeRetailerDatabase()
-                         : qbe::MakeImdbLikeDatabase({scale, 20140622});
-  std::printf("dataset=%s: %d relations, %zu foreign keys\n", dataset.c_str(),
+  bool from_snapshot = false;
+  std::optional<qbe::Database> opened;
+  if (!snapshot_path.empty()) {
+    qbe::Stopwatch open_timer;
+    std::string snapshot_error;
+    opened = qbe::Database::OpenSnapshot(snapshot_path, &snapshot_error);
+    if (opened.has_value()) {
+      from_snapshot = true;
+      std::printf("opened snapshot %s in %.3fs (%.1f MB mapped)\n",
+                  snapshot_path.c_str(), open_timer.ElapsedSeconds(),
+                  static_cast<double>(opened->MappedBytes()) / 1e6);
+    } else {
+      std::fprintf(stderr,
+                   "warning: cannot start from snapshot: %s\n"
+                   "warning: falling back to generating dataset %s\n",
+                   snapshot_error.c_str(), dataset.c_str());
+    }
+  }
+  qbe::Database db = opened.has_value()
+                         ? std::move(*opened)
+                         : (dataset == "retailer"
+                                ? qbe::MakeRetailerDatabase()
+                                : qbe::MakeImdbLikeDatabase({scale, 20140622}));
+  std::printf("dataset=%s: %d relations, %zu foreign keys\n",
+              from_snapshot ? snapshot_path.c_str() : dataset.c_str(),
               db.num_relations(), db.foreign_keys().size());
 
   std::vector<qbe::ExampleTable> requests;
@@ -183,9 +222,10 @@ int main(int argc, char** argv) {
       }
       requests.push_back(std::move(*et));
     }
-  } else if (dataset == "retailer") {
+  } else if (dataset == "retailer" && !from_snapshot) {
     requests = BuiltinRetailerWorkload();
   } else {
+    // Snapshots can hold any dataset; sample ETs from the actual contents.
     requests = BuiltinImdbWorkload(db);
   }
   if (requests.empty()) {

@@ -1,0 +1,163 @@
+// qbe_snapshot — build, verify and inspect `.qbes` binary snapshots
+// (src/snapshot/): the zero-copy cold-start format qbe_serve and qbe_cli
+// can mmap instead of re-parsing CSVs and rebuilding every index.
+//
+//   qbe_snapshot build --db DIR --out FILE.qbes
+//   qbe_snapshot build --dataset retailer|imdb|cust [--scale S] --out FILE
+//   qbe_snapshot verify FILE.qbes        full checksum + bounds check
+//   qbe_snapshot info FILE.qbes          header + section directory dump
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+#include "datagen/cust_like.h"
+#include "datagen/imdb_like.h"
+#include "datagen/retailer.h"
+#include "snapshot/snapshot.h"
+#include "storage/catalog_io.h"
+#include "storage/database.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+void PrintUsage() {
+  std::fprintf(
+      stderr,
+      "usage: qbe_snapshot build --db DIR --out FILE.qbes\n"
+      "       qbe_snapshot build --dataset retailer|imdb|cust [--scale S]\n"
+      "                          [--seed N] --out FILE.qbes\n"
+      "       qbe_snapshot verify FILE.qbes\n"
+      "       qbe_snapshot info FILE.qbes\n");
+}
+
+int Build(int argc, char** argv) {
+  std::string db_dir;
+  std::string dataset;
+  std::string out_path;
+  double scale = 0.1;
+  uint64_t seed = 20140622;
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--db") {
+      if (const char* v = next()) db_dir = v;
+    } else if (arg == "--dataset") {
+      if (const char* v = next()) dataset = v;
+    } else if (arg == "--out") {
+      if (const char* v = next()) out_path = v;
+    } else if (arg == "--scale") {
+      if (const char* v = next()) scale = std::atof(v);
+    } else if (arg == "--seed") {
+      if (const char* v = next()) seed = std::strtoull(v, nullptr, 10);
+    } else {
+      PrintUsage();
+      return 2;
+    }
+  }
+  if (out_path.empty() || (db_dir.empty() == dataset.empty())) {
+    std::fprintf(stderr,
+                 "build needs --out and exactly one of --db / --dataset\n");
+    return 2;
+  }
+
+  qbe::Stopwatch build_timer;
+  std::optional<qbe::Database> db;
+  if (!db_dir.empty()) {
+    std::string load_error;
+    db = qbe::LoadDatabase(db_dir, &load_error);
+    if (!db.has_value()) {
+      std::fprintf(stderr, "failed to load database: %s\n",
+                   load_error.c_str());
+      return 1;
+    }
+  } else if (dataset == "retailer") {
+    db = qbe::MakeRetailerDatabase();
+  } else if (dataset == "imdb") {
+    db = qbe::MakeImdbLikeDatabase({scale, seed});
+  } else if (dataset == "cust") {
+    qbe::CustConfig config;
+    config.scale = scale;
+    config.seed = seed;
+    db = qbe::MakeCustLikeDatabase(config);
+  } else {
+    std::fprintf(stderr, "unknown dataset %s\n", dataset.c_str());
+    return 2;
+  }
+  const double build_seconds = build_timer.ElapsedSeconds();
+
+  qbe::Stopwatch write_timer;
+  std::string write_error;
+  if (!qbe::WriteSnapshot(*db, out_path, &write_error)) {
+    std::fprintf(stderr, "snapshot write failed: %s\n", write_error.c_str());
+    return 1;
+  }
+  std::optional<qbe::SnapshotFileInfo> info =
+      qbe::ReadSnapshotInfo(out_path, &write_error);
+  if (!info.has_value()) {
+    std::fprintf(stderr, "snapshot reread failed: %s\n", write_error.c_str());
+    return 1;
+  }
+  std::printf(
+      "wrote %s: %.1f MB, %zu sections "
+      "(database build %.3fs, snapshot write %.3fs)\n",
+      out_path.c_str(), static_cast<double>(info->file_bytes) / 1e6,
+      info->sections.size(), build_seconds, write_timer.ElapsedSeconds());
+  return 0;
+}
+
+int Verify(const std::string& path) {
+  qbe::Stopwatch timer;
+  std::string error;
+  if (!qbe::VerifySnapshot(path, &error)) {
+    std::fprintf(stderr, "FAIL: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("OK: %s (all section checksums match, %.3fs)\n", path.c_str(),
+              timer.ElapsedSeconds());
+  return 0;
+}
+
+int Info(const std::string& path) {
+  std::string error;
+  std::optional<qbe::SnapshotFileInfo> info =
+      qbe::ReadSnapshotInfo(path, &error);
+  if (!info.has_value()) {
+    std::fprintf(stderr, "FAIL: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("%s: version %u, %.1f MB, page size %u, %zu sections\n",
+              path.c_str(), info->version,
+              static_cast<double>(info->file_bytes) / 1e6, info->page_size,
+              info->sections.size());
+  std::printf("%-22s %6s %6s %12s %12s %12s  %s\n", "section", "a", "b",
+              "offset", "bytes", "elems", "checksum");
+  for (const qbe::SnapshotSectionInfo& s : info->sections) {
+    std::printf("%-22s %6u %6u %12llu %12llu %12llu  %016llx\n",
+                s.name.c_str(), s.a, s.b,
+                static_cast<unsigned long long>(s.offset),
+                static_cast<unsigned long long>(s.bytes),
+                static_cast<unsigned long long>(s.elem_count),
+                static_cast<unsigned long long>(s.checksum));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    PrintUsage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  if (command == "build") return Build(argc - 2, argv + 2);
+  if ((command == "verify" || command == "info") && argc == 3) {
+    return command == "verify" ? Verify(argv[2]) : Info(argv[2]);
+  }
+  PrintUsage();
+  return 2;
+}
