@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ingest/db_view.h"
 #include "schema/subtree_enum.h"
 #include "util/check.h"
 
@@ -53,6 +54,66 @@ std::vector<std::vector<ColumnRef>> RetrieveCandidateColumnsRelaxed(
       for (int gid : ci.ColumnsContaining(et.CellTokens(r, c))) {
         counts[gid] += 1;
       }
+    }
+    for (int gid = 0; gid < db.TotalTextColumns(); ++gid) {
+      if (counts[gid] + empty_rows >= need) {
+        result[c].push_back(db.TextColumnByGid(gid));
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<std::vector<ColumnRef>> RetrieveCandidateColumns(
+    const DbView& view, const ExampleTable& et) {
+  if (view.plain()) return RetrieveCandidateColumns(view.base(), et);
+  std::vector<std::vector<ColumnRef>> result(et.num_columns());
+  std::vector<uint32_t> ids;
+  std::vector<int> matches;
+  for (int c = 0; c < et.num_columns(); ++c) {
+    std::vector<int> gids;
+    bool first = true;
+    for (int r = 0; r < et.num_rows() && (first || !gids.empty()); ++r) {
+      if (et.cell(r, c).IsEmpty()) continue;
+      view.IdsOfInto(et.CellTokens(r, c), &ids);
+      view.ColumnsContainingIdsInto(ids, &matches);
+      if (first) {
+        gids = matches;
+        first = false;
+      } else {
+        std::vector<int> merged;
+        std::set_intersection(gids.begin(), gids.end(), matches.begin(),
+                              matches.end(), std::back_inserter(merged));
+        gids = std::move(merged);
+      }
+    }
+    QBE_CHECK_MSG(!first, "example table has an empty column");
+    for (int gid : gids) result[c].push_back(view.TextColumnByGid(gid));
+  }
+  return result;
+}
+
+std::vector<std::vector<ColumnRef>> RetrieveCandidateColumnsRelaxed(
+    const DbView& view, const ExampleTable& et, int min_row_support) {
+  if (view.plain()) {
+    return RetrieveCandidateColumnsRelaxed(view.base(), et, min_row_support);
+  }
+  const Database& db = view.base();
+  int need = std::min(min_row_support, et.num_rows());
+  std::vector<std::vector<ColumnRef>> result(et.num_columns());
+  std::vector<uint32_t> ids;
+  std::vector<int> matches;
+  for (int c = 0; c < et.num_columns(); ++c) {
+    std::vector<int> counts(db.TotalTextColumns(), 0);
+    int empty_rows = 0;
+    for (int r = 0; r < et.num_rows(); ++r) {
+      if (et.cell(r, c).IsEmpty()) {
+        ++empty_rows;
+        continue;
+      }
+      view.IdsOfInto(et.CellTokens(r, c), &ids);
+      view.ColumnsContainingIdsInto(ids, &matches);
+      for (int gid : matches) counts[gid] += 1;
     }
     for (int gid = 0; gid < db.TotalTextColumns(); ++gid) {
       if (counts[gid] + empty_rows >= need) {

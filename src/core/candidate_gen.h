@@ -11,6 +11,8 @@
 
 namespace qbe {
 
+class DbView;
+
 struct CandidateGenOptions {
   /// Maximal join length l: the largest number of relations allowed in a
   /// candidate join tree (Table 3; default 4).
@@ -34,6 +36,18 @@ std::vector<std::vector<ColumnRef>> RetrieveCandidateColumns(
 /// `min_row_support == et.num_rows()` this reduces to Eq. 3.
 std::vector<std::vector<ColumnRef>> RetrieveCandidateColumnsRelaxed(
     const Database& db, const ExampleTable& et, int min_row_support);
+
+/// Version-aware retrieval over a pinned live-database epoch: identical to
+/// the Database overloads on a plain view; with a delta overlay, phrases
+/// and columns only present in appended rows participate. The result may be
+/// a superset of a cold load's (a column whose only containing rows are
+/// tombstoned can survive retrieval) — verification is exact and eliminates
+/// such candidates; retrieval must never underreport.
+std::vector<std::vector<ColumnRef>> RetrieveCandidateColumns(
+    const DbView& view, const ExampleTable& et);
+
+std::vector<std::vector<ColumnRef>> RetrieveCandidateColumnsRelaxed(
+    const DbView& view, const ExampleTable& et, int min_row_support);
 
 /// Candidate query enumeration (§3.2 step 2): all minimal candidate
 /// project-join queries over the schema graph whose projection mapping

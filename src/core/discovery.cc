@@ -39,19 +39,20 @@ std::unique_ptr<CandidateVerifier> MakeVerifier(
 /// Ranking score (§8 future work): prefer fewer joins (simpler
 /// explanations) and more selective projection columns (mappings where the
 /// ET values pin down few base rows are likelier to reflect user intent).
-double RankScore(const Database& db, const ExampleTable& et,
+double RankScore(const DbView& view, const ExampleTable& et,
                  const EtTokenIds& et_ids, const CandidateQuery& query) {
   double selectivity_sum = 0.0;
   int cells = 0;
   for (int c = 0; c < et.num_columns(); ++c) {
-    const InvertedIndex& index = db.TextIndex(query.projection[c]);
+    const ColumnRef& col = query.projection[c];
+    const uint32_t live_rows = view.LiveRows(col.rel);
     for (int r = 0; r < et.num_rows(); ++r) {
       if (et.cell(r, c).IsEmpty()) continue;
-      size_t matches = index.MatchPhraseIds(et_ids.CellIds(r, c)).size();
-      selectivity_sum += index.num_rows() == 0
+      size_t matches = view.MatchCount(col, et_ids.CellIds(r, c));
+      selectivity_sum += live_rows == 0
                              ? 0.0
                              : static_cast<double>(matches) /
-                                   static_cast<double>(index.num_rows());
+                                   static_cast<double>(live_rows);
       ++cells;
     }
   }
@@ -78,6 +79,13 @@ DiscoveryResult& MarkTimedOut(DiscoveryResult& result) {
 
 DiscoveryResult DiscoverQueries(const Database& db, const ExampleTable& et,
                                 const DiscoveryOptions& options) {
+  return DiscoverQueries(DbView(db), et, options, 0);
+}
+
+DiscoveryResult DiscoverQueries(const DbView& view, const ExampleTable& et,
+                                const DiscoveryOptions& options,
+                                uint64_t data_epoch) {
+  const Database& db = view.base();
   DiscoveryResult result;
   if (!et.IsWellFormed()) {
     result.error =
@@ -86,8 +94,11 @@ DiscoveryResult DiscoverQueries(const Database& db, const ExampleTable& et,
   }
   if (DeadlineExpired(options)) return MarkTimedOut(result);
 
+  // The schema (relations, FK edges) is immutable across epochs, so the
+  // graph and join-tree enumeration are overlay-independent; only row-level
+  // reads go through the view.
   SchemaGraph graph(db);
-  Executor exec(db, graph);
+  Executor exec(view, graph);
 
   Stopwatch gen_timer;
   CandidateGenOptions gen_options;
@@ -95,8 +106,8 @@ DiscoveryResult DiscoverQueries(const Database& db, const ExampleTable& et,
   gen_options.max_candidates = options.max_candidates;
   std::vector<std::vector<ColumnRef>> candidate_columns =
       options.min_row_support >= 0
-          ? RetrieveCandidateColumnsRelaxed(db, et, options.min_row_support)
-          : RetrieveCandidateColumns(db, et);
+          ? RetrieveCandidateColumnsRelaxed(view, et, options.min_row_support)
+          : RetrieveCandidateColumns(view, et);
   for (const auto& cols : candidate_columns) {
     result.candidate_columns_per_et_column.push_back(cols.size());
   }
@@ -108,16 +119,18 @@ DiscoveryResult DiscoverQueries(const Database& db, const ExampleTable& et,
 
   if (DeadlineExpired(options)) return MarkTimedOut(result);
 
-  // Resolve the ET's tokens against the database dictionary once; every
-  // predicate this request builds carries id vectors from here on.
-  EtTokenIds et_ids(et, db.token_dict());
+  // Resolve the ET's tokens against the version's dictionary once (base
+  // dictionary plus overlay tokens); every predicate this request builds
+  // carries id vectors from here on.
+  EtTokenIds et_ids(et, view);
   MatchCache match_cache;
   VerifyContext ctx{db,           graph,         exec,
                     et,           candidates,    options.seed,
                     options.cache, options.deadline,
                     options.verify, options.verify_pool,
                     &et_ids,
-                    options.use_match_cache ? &match_cache : nullptr};
+                    options.use_match_cache ? &match_cache : nullptr,
+                    data_epoch,   view.delta()};
 
   std::vector<int> matched(candidates.size(), 0);
   std::vector<bool> keep(candidates.size(), false);
@@ -168,7 +181,7 @@ DiscoveryResult DiscoverQueries(const Database& db, const ExampleTable& et,
                                    candidates[q].projection, labels);
     out.matched_rows = matched[q];
     out.score =
-        options.rank_results ? RankScore(db, et, et_ids, candidates[q]) : 0.0;
+        options.rank_results ? RankScore(view, et, et_ids, candidates[q]) : 0.0;
     result.queries.push_back(std::move(out));
   }
   if (options.rank_results) {

@@ -111,6 +111,15 @@ struct DiscoveryResult {
 DiscoveryResult DiscoverQueries(const Database& db, const ExampleTable& et,
                                 const DiscoveryOptions& options = {});
 
+/// Version-aware discovery over a pinned live-database epoch (base +
+/// delta overlay; DESIGN.md §12). With a plain view and data_epoch 0 this
+/// is exactly the Database overload (which forwards here). `data_epoch`
+/// namespaces shared eval-cache outcomes per data version — pass the
+/// pinned DbVersion's epoch when serving over a LiveDatabase.
+DiscoveryResult DiscoverQueries(const DbView& view, const ExampleTable& et,
+                                const DiscoveryOptions& options,
+                                uint64_t data_epoch);
+
 }  // namespace qbe
 
 #endif  // QBE_CORE_DISCOVERY_H_

@@ -1,5 +1,6 @@
 #include "core/example_table.h"
 
+#include "ingest/db_view.h"
 #include "text/tokenizer.h"
 #include "util/check.h"
 
@@ -58,6 +59,16 @@ EtTokenIds::EtTokenIds(const ExampleTable& et, const TokenDict& dict) {
     ids_[r].resize(et.num_columns());
     for (int c = 0; c < et.num_columns(); ++c) {
       ids_[r][c] = dict.IdsOf(et.CellTokens(r, c));
+    }
+  }
+}
+
+EtTokenIds::EtTokenIds(const ExampleTable& et, const DbView& view) {
+  ids_.resize(et.num_rows());
+  for (int r = 0; r < et.num_rows(); ++r) {
+    ids_[r].resize(et.num_columns());
+    for (int c = 0; c < et.num_columns(); ++c) {
+      ids_[r][c] = view.IdsOf(et.CellTokens(r, c));
     }
   }
 }

@@ -9,6 +9,8 @@
 
 namespace qbe {
 
+class DbView;
+
 /// One cell of an example table: a string of one or more tokens, or empty
 /// (Definition 1). `exact` opts into whole-value matching (the paper's
 /// numeric exact-match extension, §2.2 Remarks).
@@ -76,6 +78,12 @@ class ExampleTable {
 class EtTokenIds {
  public:
   EtTokenIds(const ExampleTable& et, const TokenDict& dict);
+
+  /// Version-aware resolution: tokens absent from the base dictionary may
+  /// resolve to the view's overlay dictionary (ids >= base size), so
+  /// phrases only present in appended rows still match. With a plain view
+  /// this is identical to the TokenDict constructor.
+  EtTokenIds(const ExampleTable& et, const DbView& view);
 
   const std::vector<uint32_t>& CellIds(int row, int col) const {
     return ids_[row][col];

@@ -260,7 +260,7 @@ std::vector<bool> FilterVerifier::Verify(const VerifyContext& ctx,
   for (int f = 0; f < universe.num_filters(); ++f) {
     const Filter& filter = universe.filters[f];
     if (filter.IsTriviallySuccessful() &&
-        ctx.db.relation(filter.tree.verts.First()).num_rows() > 0) {
+        DbView(ctx.db, ctx.delta).LiveRows(filter.tree.verts.First()) > 0) {
       s.MarkSuccess(f);
     }
   }

@@ -203,6 +203,15 @@ struct VerifyContext {
   /// Optional per-request (column, phrase-ids) → row-set cache shared by
   /// every worker (thread-safe, outcome-neutral; see exec/match_cache.h).
   MatchCache* match_cache = nullptr;
+  /// Epoch of the pinned data version when verifying over a live database
+  /// (DESIGN.md §12). 0 = the plain immutable database. Nonzero epochs
+  /// prefix every eval-cache key so outcomes never leak across versions
+  /// whose data differs.
+  uint64_t data_epoch = 0;
+  /// Delta overlay of the pinned version (null = plain base). Verifiers
+  /// that consult row counts directly (e.g. FILTER's trivial-success check)
+  /// must count live rows through DbView(db, delta), not db alone.
+  const DeltaView* delta = nullptr;
 };
 
 /// Counting wrapper around the executor: evaluates one filter / CQ-row

@@ -42,6 +42,13 @@ bool EvalEngine::Execute(const JoinTree& tree,
   }
   if (ctx_.cache != nullptr) {
     std::string key = EvalCacheKey(ctx_.db, tree, predicates);
+    // Outcomes are only reusable within one data version: epoch 0 (the
+    // plain database) keeps the historical key shape, any pinned live
+    // epoch gets its own namespace so appends/tombstones can never serve
+    // a stale cached answer.
+    if (ctx_.data_epoch != 0) {
+      key.insert(0, '@' + std::to_string(ctx_.data_epoch) + '#');
+    }
     if (std::optional<bool> cached = ctx_.cache->Lookup(key)) return *cached;
     counters_->verifications += 1;
     counters_->estimated_cost += cost;

@@ -21,6 +21,7 @@ struct ExecScratch {
   std::vector<uint32_t> tmp;      // semijoin/seed result being built
   std::vector<uint32_t> tmp2;     // intersection output buffer
   std::vector<uint64_t> bits;     // row bitmap for semijoin dedup/membership
+  std::vector<uint32_t> edge_rows;  // overlay-merged span backing (DbView)
 };
 
 ExecScratch& Scratch() {
@@ -64,15 +65,15 @@ bool Executor::SeedNode(int vertex,
   state->rows.clear();
   ExecScratch& scratch = Scratch();
   for (const PhrasePredicate* pred : predicates) {
-    const InvertedIndex& index = db_.TextIndex(pred->column);
     // Predicates built by the discovery pipeline carry ids resolved once
     // per request; hand-built ones fall back to a per-call dictionary
-    // lookup (heterogeneous — no string is materialized).
+    // lookup (heterogeneous — no string is materialized). Resolution goes
+    // through the view so overlay-only vocabulary still gets real ids.
     std::span<const uint32_t> ids;
     if (pred->ids.size() == pred->tokens.size()) {
       ids = pred->ids;
     } else {
-      index.dict().IdsOfInto(pred->tokens, &scratch.ids);
+      view_.IdsOfInto(pred->tokens, &scratch.ids);
       ids = scratch.ids;
     }
     // Exact match is answered from the index (occurrence at position 0
@@ -81,20 +82,20 @@ bool Executor::SeedNode(int vertex,
     std::shared_ptr<const std::vector<uint32_t>> cached;
     if (match_cache != nullptr) {
       cached = match_cache->GetOrCompute(
-          db_.TextColumnGid(pred->column), pred->exact, ids,
+          view_.TextColumnGid(pred->column), pred->exact, ids,
           [&](std::vector<uint32_t>* out) {
             if (pred->exact) {
-              index.MatchExactIdsInto(ids, out);
+              view_.MatchExactIdsInto(pred->column, ids, out);
             } else {
-              index.MatchPhraseIdsInto(ids, out);
+              view_.MatchPhraseIdsInto(pred->column, ids, out);
             }
           });
       matches = cached.get();
     } else {
       if (pred->exact) {
-        index.MatchExactIdsInto(ids, &scratch.matches);
+        view_.MatchExactIdsInto(pred->column, ids, &scratch.matches);
       } else {
-        index.MatchPhraseIdsInto(ids, &scratch.matches);
+        view_.MatchPhraseIdsInto(pred->column, ids, &scratch.matches);
       }
       matches = &scratch.matches;
     }
@@ -111,14 +112,15 @@ bool Executor::SeedNode(int vertex,
 
 void Executor::Semijoin(NodeState* parent, int edge,
                         const NodeState& child) const {
-  const ForeignKey& fk = db_.foreign_key(edge);
+  const ForeignKey& fk = view_.foreign_key(edge);
   ExecScratch& scratch = Scratch();
 
   if (fk.from_rel == parent->rel) {
     // Parent holds the FK, child is the PK side.
     if (child.full) {
-      if (db_.EdgeHasNoDangling(edge)) return;  // every FK row has a partner
-      const std::span<const uint32_t> valid = db_.ValidFromRows(edge);
+      if (view_.EdgeHasNoDangling(edge)) return;  // every FK row has a partner
+      const std::span<const uint32_t> valid =
+          view_.ValidFromRows(edge, &scratch.edge_rows);
       if (parent->full) {
         parent->full = false;
         parent->rows.assign(valid.begin(), valid.end());
@@ -132,9 +134,10 @@ void Executor::Semijoin(NodeState* parent, int edge,
       // distinct child rows are disjoint (every FK row references exactly
       // one PK row), so a bitmap emits the union already sorted — no
       // sort+unique pass.
-      ClearBitmap(&scratch.bits, db_.relation(fk.from_rel).num_rows());
+      ClearBitmap(&scratch.bits, view_.TotalRows(fk.from_rel));
       for (uint32_t child_row : child.rows) {
-        for (uint32_t row : db_.ChildRowsOf(edge, child_row)) {
+        for (uint32_t row :
+             view_.ChildRowsOf(edge, child_row, &scratch.edge_rows)) {
           SetBit(&scratch.bits, row);
         }
       }
@@ -146,11 +149,11 @@ void Executor::Semijoin(NodeState* parent, int edge,
     // Filter parent rows: keep those whose referenced row survived in the
     // child. Child membership is a bitmap test; the referenced row is an
     // O(1) join-index read (no key extraction, no hashing).
-    ClearBitmap(&scratch.bits, db_.relation(fk.to_rel).num_rows());
+    ClearBitmap(&scratch.bits, view_.TotalRows(fk.to_rel));
     for (uint32_t child_row : child.rows) SetBit(&scratch.bits, child_row);
     scratch.tmp.clear();
     for (uint32_t row : parent->rows) {
-      int32_t referenced = db_.ParentRowOf(edge, row);
+      int32_t referenced = view_.ParentRowOf(edge, row);
       if (referenced >= 0 &&
           TestBit(scratch.bits, static_cast<uint32_t>(referenced))) {
         scratch.tmp.push_back(row);
@@ -163,7 +166,8 @@ void Executor::Semijoin(NodeState* parent, int edge,
   // Parent is the PK side; child holds the FK.
   QBE_DCHECK(fk.to_rel == parent->rel);
   if (child.full) {
-    const std::span<const uint32_t> referenced = db_.ReferencedRows(edge);
+    const std::span<const uint32_t> referenced =
+        view_.ReferencedRows(edge, &scratch.edge_rows);
     if (parent->full) {
       parent->full = false;
       parent->rows.assign(referenced.begin(), referenced.end());
@@ -174,9 +178,9 @@ void Executor::Semijoin(NodeState* parent, int edge,
   }
   // Rows referenced by the surviving child rows, deduplicated in ascending
   // order via the bitmap (many child rows share a parent).
-  ClearBitmap(&scratch.bits, db_.relation(fk.to_rel).num_rows());
+  ClearBitmap(&scratch.bits, view_.TotalRows(fk.to_rel));
   for (uint32_t child_row : child.rows) {
-    int32_t referenced = db_.ParentRowOf(edge, child_row);
+    int32_t referenced = view_.ParentRowOf(edge, child_row);
     if (referenced >= 0) {
       SetBit(&scratch.bits, static_cast<uint32_t>(referenced));
     }
@@ -303,7 +307,7 @@ bool Executor::Exists(const JoinTree& tree,
   NodeState state = Reduce(tree, root, -1, preds_by_vertex, &feasible, memo,
                            match_cache);
   if (!feasible) return false;
-  if (state.full) return db_.relation(root).num_rows() > 0;
+  if (state.full) return view_.LiveRows(root) > 0;
   return !state.rows.empty();
 }
 
@@ -332,9 +336,8 @@ std::vector<std::vector<uint32_t>> Executor::MaterializeAssignments(
   int root = vertices[0];
   size_t best = SIZE_MAX;
   for (int v : vertices) {
-    size_t sz = seeded[v].full
-                    ? static_cast<size_t>(db_.relation(v).num_rows())
-                    : seeded[v].rows.size();
+    size_t sz = seeded[v].full ? static_cast<size_t>(view_.LiveRows(v))
+                               : seeded[v].rows.size();
     if (sz < best || (sz == best && !seeded[v].full)) {
       best = sz;
       root = v;
@@ -379,7 +382,7 @@ std::vector<std::vector<uint32_t>> Executor::MaterializeAssignments(
     }
     int v = order[pos];
     int e = via_edge[pos];
-    const ForeignKey& fk = db_.foreign_key(e);
+    const ForeignKey& fk = view_.foreign_key(e);
     uint32_t parent_row = assignment[parent_pos[pos]];
     const NodeState& seed = seeded[v];
     auto try_row = [&](uint32_t row) -> bool {
@@ -388,13 +391,16 @@ std::vector<std::vector<uint32_t>> Executor::MaterializeAssignments(
       return self(self, pos + 1);
     };
     if (fk.from_rel == v) {
-      // Child rows referencing the parent row (row-level join index).
-      for (uint32_t row : db_.ChildRowsOf(e, parent_row)) {
+      // Child rows referencing the parent row (row-level join index). A
+      // recursion-local buffer: the overlay-merged span must survive the
+      // nested self() calls, unlike the executor's flat scratch.
+      std::vector<uint32_t> merged;
+      for (uint32_t row : view_.ChildRowsOf(e, parent_row, &merged)) {
         if (try_row(row)) return true;
       }
     } else {
       // Child is the PK side of the parent's FK: at most one partner row.
-      int32_t row = db_.ParentRowOf(e, parent_row);
+      int32_t row = view_.ParentRowOf(e, parent_row);
       if (row >= 0 && try_row(static_cast<uint32_t>(row))) return true;
     }
     return false;
@@ -402,8 +408,9 @@ std::vector<std::vector<uint32_t>> Executor::MaterializeAssignments(
 
   const NodeState& root_seed = seeded[root];
   if (root_seed.full) {
-    uint32_t n = db_.relation(root).num_rows();
+    uint32_t n = view_.TotalRows(root);
     for (uint32_t row = 0; row < n; ++row) {
+      if (!view_.IsLive(root, row)) continue;
       assignment[0] = row;
       if (assign(assign, 1)) break;
     }
@@ -434,7 +441,7 @@ std::vector<std::vector<std::string>> Executor::Materialize(
     for (const ColumnRef& col : projection) {
       int pos = vertex_pos[col.rel];
       QBE_CHECK_MSG(pos >= 0, "projection column outside join tree");
-      row.emplace_back(db_.relation(col.rel).TextAt(col.col, assignment[pos]));
+      row.emplace_back(view_.TextAt(col.rel, col.col, assignment[pos]));
     }
     rows.push_back(std::move(row));
   }

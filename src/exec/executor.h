@@ -11,6 +11,7 @@
 
 #include "exec/match_cache.h"
 #include "exec/predicate.h"
+#include "ingest/db_view.h"
 #include "schema/join_tree.h"
 #include "schema/schema_graph.h"
 #include "storage/database.h"
@@ -102,7 +103,13 @@ class Executor {
   };
 
   Executor(const Database& db, const SchemaGraph& graph)
-      : db_(db), graph_(graph) {}
+      : view_(db), graph_(graph) {}
+
+  /// Version-aware executor: reads go through `view` (base + optional delta
+  /// overlay), so a pinned ingestion epoch evaluates exactly like a cold
+  /// load of the merged data. The view must outlive the executor.
+  Executor(const DbView& view, const SchemaGraph& graph)
+      : view_(view), graph_(graph) {}
 
   /// True iff the join of `tree` has at least one result row satisfying all
   /// `predicates` (which must reference text columns of tree relations).
@@ -150,7 +157,7 @@ class Executor {
                    bool* feasible, SubtreeMemo* memo,
                    MatchCache* match_cache) const;
 
-  const Database& db_;
+  DbView view_;
   const SchemaGraph& graph_;
 };
 

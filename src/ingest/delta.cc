@@ -1,0 +1,298 @@
+#include "ingest/delta.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "text/tokenizer.h"
+#include "util/check.h"
+
+namespace qbe {
+
+namespace {
+
+uint64_t PackPosting(uint32_t row, uint32_t pos) {
+  return (static_cast<uint64_t>(row) << 32) | pos;
+}
+
+}  // namespace
+
+uint32_t DeltaView::InternDeltaToken(std::string_view token) {
+  auto it = delta_token_ids_.find(token);
+  if (it != delta_token_ids_.end()) return it->second;
+  delta_tokens_.emplace_back(token);
+  const uint32_t id =
+      base_dict_size + static_cast<uint32_t>(delta_tokens_.size() - 1);
+  delta_token_ids_.emplace(std::string_view(delta_tokens_.back()), id);
+  return id;
+}
+
+void DeltaView::MatchPhraseInto(int rel, int gid, std::span<const uint32_t> ids,
+                                std::vector<uint32_t>* rows) const {
+  const RelDelta& rd = rels[rel];
+  if (rd.rows.empty()) return;
+  if (ids.empty()) {
+    for (size_t i = 0; i < rd.rows.size(); ++i) {
+      if (rd.row_live[i]) rows->push_back(rd.base_rows + i);
+    }
+    return;
+  }
+  auto git = gids.find(gid);
+  if (git == gids.end()) return;
+  const GidDelta& gd = git->second;
+  std::vector<const std::vector<uint64_t>*> lists(ids.size());
+  for (size_t k = 0; k < ids.size(); ++k) {
+    if (ids[k] == TokenDict::kNoToken) return;
+    auto pit = gd.postings.find(ids[k]);
+    if (pit == gd.postings.end()) return;
+    lists[k] = &pit->second;
+  }
+  uint32_t last = UINT32_MAX;
+  for (uint64_t p0 : *lists[0]) {
+    const uint32_t row = static_cast<uint32_t>(p0 >> 32);
+    if (row == last) continue;  // one hit per row is enough
+    const uint32_t pos = static_cast<uint32_t>(p0);
+    bool ok = true;
+    for (size_t k = 1; k < ids.size() && ok; ++k) {
+      const uint64_t want = PackPosting(row, pos + static_cast<uint32_t>(k));
+      ok = std::binary_search(lists[k]->begin(), lists[k]->end(), want);
+    }
+    if (ok) {
+      rows->push_back(row);
+      last = row;
+    }
+  }
+}
+
+void DeltaView::MatchExactInto(int rel, int gid, std::span<const uint32_t> ids,
+                               std::vector<uint32_t>* rows) const {
+  const RelDelta& rd = rels[rel];
+  if (rd.rows.empty()) return;
+  auto git = gids.find(gid);
+  if (ids.empty()) {
+    // A cell "equals" the empty phrase iff it tokenizes to nothing
+    // (mirrors InvertedIndex::MatchExactIdsInto).
+    for (size_t i = 0; i < rd.rows.size(); ++i) {
+      const bool empty_cell =
+          git == gids.end() || git->second.row_token_counts[i] == 0;
+      if (rd.row_live[i] && empty_cell) rows->push_back(rd.base_rows + i);
+    }
+    return;
+  }
+  if (git == gids.end()) return;
+  const GidDelta& gd = git->second;
+  std::vector<const std::vector<uint64_t>*> lists(ids.size());
+  for (size_t k = 0; k < ids.size(); ++k) {
+    if (ids[k] == TokenDict::kNoToken) return;
+    auto pit = gd.postings.find(ids[k]);
+    if (pit == gd.postings.end()) return;
+    lists[k] = &pit->second;
+  }
+  const uint32_t want_count = static_cast<uint32_t>(ids.size());
+  for (uint64_t p0 : *lists[0]) {
+    if (static_cast<uint32_t>(p0) != 0) continue;  // must start the cell
+    const uint32_t row = static_cast<uint32_t>(p0 >> 32);
+    if (gd.row_token_counts[row - rd.base_rows] != want_count) continue;
+    bool ok = true;
+    for (size_t k = 1; k < ids.size() && ok; ++k) {
+      const uint64_t want = PackPosting(row, static_cast<uint32_t>(k));
+      ok = std::binary_search(lists[k]->begin(), lists[k]->end(), want);
+    }
+    if (ok) rows->push_back(row);
+  }
+}
+
+bool DeltaView::AnyMatch(int rel, int gid, std::span<const uint32_t> ids) const {
+  const RelDelta& rd = rels[rel];
+  if (rd.rows.empty()) return false;
+  if (ids.empty()) {
+    for (char live : rd.row_live) {
+      if (live) return true;
+    }
+    return false;
+  }
+  auto git = gids.find(gid);
+  if (git == gids.end()) return false;
+  const GidDelta& gd = git->second;
+  std::vector<const std::vector<uint64_t>*> lists(ids.size());
+  for (size_t k = 0; k < ids.size(); ++k) {
+    if (ids[k] == TokenDict::kNoToken) return false;
+    auto pit = gd.postings.find(ids[k]);
+    if (pit == gd.postings.end()) return false;
+    lists[k] = &pit->second;
+  }
+  for (uint64_t p0 : *lists[0]) {
+    const uint32_t row = static_cast<uint32_t>(p0 >> 32);
+    const uint32_t pos = static_cast<uint32_t>(p0);
+    bool ok = true;
+    for (size_t k = 1; k < ids.size() && ok; ++k) {
+      const uint64_t want = PackPosting(row, pos + static_cast<uint32_t>(k));
+      ok = std::binary_search(lists[k]->begin(), lists[k]->end(), want);
+    }
+    if (ok) return true;
+  }
+  return false;
+}
+
+std::shared_ptr<const DeltaView> BuildDeltaView(const Database& base,
+                                                std::span<const WalRecord> ops,
+                                                uint64_t epoch) {
+  auto view = std::make_shared<DeltaView>();
+  DeltaView& d = *view;
+  d.epoch = epoch;
+  d.num_ops = ops.size();
+  d.base_dict_size = static_cast<uint32_t>(base.token_dict().size());
+
+  const int num_rels = base.num_relations();
+  d.rels.resize(num_rels);
+  for (int r = 0; r < num_rels; ++r) {
+    d.rels[r].base_rows = base.relation(r).num_rows();
+  }
+
+  // 1. Apply the op log: appended row storage + tombstone sets.
+  for (const WalRecord& op : ops) {
+    DeltaView::RelDelta& rd = d.rels[op.rel];
+    if (op.kind == WalRecord::kAppend) {
+      rd.rows.push_back(op.values);
+      rd.row_live.push_back(1);
+      ++d.appended_total;
+    } else {
+      QBE_CHECK(rd.tombstones.insert(op.row).second);
+      if (op.row >= rd.base_rows) rd.row_live[op.row - rd.base_rows] = 0;
+      ++d.tombstones_total;
+    }
+  }
+  for (DeltaView::RelDelta& rd : d.rels) {
+    rd.live_rows = rd.base_rows + static_cast<uint32_t>(rd.rows.size()) -
+                   static_cast<uint32_t>(rd.tombstones.size());
+  }
+
+  // 2. Live PK values of appended rows, per PK-target column (the uniqueness
+  // contract was already enforced at admission / replay validation).
+  for (const ForeignKey& fk : base.foreign_keys()) {
+    DeltaView::RelDelta& to_d = d.rels[fk.to_rel];
+    auto& pk = to_d.pk_by_col[fk.to_col];  // create even when empty
+    for (size_t i = 0; i < to_d.rows.size(); ++i) {
+      if (!to_d.row_live[i]) continue;
+      pk[std::get<int64_t>(to_d.rows[i][fk.to_col])] =
+          to_d.base_rows + static_cast<uint32_t>(i);
+    }
+  }
+
+  // 3. Delta inverted index: positional hash postings per text-column gid,
+  // using exactly the base tokenization (ForEachToken) so overlay matches
+  // are bit-compatible with a rebuilt CSR index.
+  for (int r = 0; r < num_rels; ++r) {
+    DeltaView::RelDelta& rd = d.rels[r];
+    if (rd.rows.empty()) continue;
+    const Relation& relation = base.relation(r);
+    for (int c = 0; c < relation.num_columns(); ++c) {
+      if (relation.columns()[c].type != ColumnType::kText) continue;
+      const int gid = base.TextColumnGid({r, c});
+      DeltaView::GidDelta& gd = d.gids[gid];
+      gd.row_token_counts.resize(rd.rows.size(), 0);
+      for (size_t i = 0; i < rd.rows.size(); ++i) {
+        const uint32_t row = rd.base_rows + static_cast<uint32_t>(i);
+        uint32_t pos = 0;
+        ForEachToken(std::get<std::string>(rd.rows[i][c]),
+                     [&](std::string_view token) {
+                       uint32_t id = base.token_dict().Find(token);
+                       if (id == TokenDict::kNoToken) {
+                         id = d.InternDeltaToken(token);
+                       }
+                       if (rd.row_live[i]) {
+                         gd.postings[id].push_back(PackPosting(row, pos));
+                       }
+                       ++pos;
+                     });
+        gd.row_token_counts[i] = pos;
+      }
+      if (gd.postings.empty() &&
+          std::all_of(gd.row_token_counts.begin(), gd.row_token_counts.end(),
+                      [](uint32_t n) { return n == 0; })) {
+        d.gids.erase(gid);  // nothing indexed for this column after all
+      }
+    }
+  }
+
+  // 4. Per-edge join overlay.
+  const int num_edges = static_cast<int>(base.foreign_keys().size());
+  d.edges.resize(num_edges);
+  for (int e = 0; e < num_edges; ++e) {
+    const ForeignKey& fk = base.foreign_key(e);
+    DeltaView::EdgeDelta& ed = d.edges[e];
+    DeltaView::RelDelta& from_d = d.rels[fk.from_rel];
+    DeltaView::RelDelta& to_d = d.rels[fk.to_rel];
+    const auto& to_pk = to_d.pk_by_col[fk.to_col];
+
+    auto resolve_parent = [&](int64_t key) -> int32_t {
+      const int64_t p = base.PkLookup(fk.to_rel, fk.to_col, key);
+      if (p >= 0 && d.IsLive(fk.to_rel, static_cast<uint32_t>(p))) {
+        return static_cast<int32_t>(p);
+      }
+      auto it = to_pk.find(key);
+      return it == to_pk.end() ? -1 : static_cast<int32_t>(it->second);
+    };
+
+    // Appended from-rows, resolved against this epoch's final liveness.
+    ed.delta_parent.resize(from_d.rows.size(), -1);
+    for (size_t i = 0; i < from_d.rows.size(); ++i) {
+      if (!from_d.row_live[i]) continue;
+      const int32_t parent =
+          resolve_parent(std::get<int64_t>(from_d.rows[i][fk.from_col]));
+      ed.delta_parent[i] = parent;
+      if (parent >= 0) {
+        ed.extra_children[parent].push_back(from_d.base_rows +
+                                            static_cast<uint32_t>(i));
+      }
+    }
+
+    // Base from-rows whose FK value now resolves to a live appended PK row:
+    // previously-dangling rows gaining a parent, and children of a
+    // tombstoned PK row reparented by a delete-then-reinsert.
+    for (const auto& [key, to_row] : to_pk) {
+      const std::vector<uint32_t>* referers = base.FkLookup(e, key);
+      if (referers == nullptr) continue;
+      for (uint32_t r : *referers) {
+        if (!d.IsLive(fk.from_rel, r)) continue;
+        const int32_t p = base.ParentRowOf(e, r);
+        if (p >= 0 && d.IsLive(fk.to_rel, static_cast<uint32_t>(p))) continue;
+        ed.revalidated.emplace(r, static_cast<int32_t>(to_row));
+        ed.extra_children[to_row].push_back(r);
+      }
+    }
+    ed.revalidated_rows.reserve(ed.revalidated.size());
+    for (const auto& [r, t] : ed.revalidated) ed.revalidated_rows.push_back(r);
+    std::sort(ed.revalidated_rows.begin(), ed.revalidated_rows.end());
+
+    ed.extra_referenced.reserve(ed.extra_children.size());
+    for (auto& [to_row, children] : ed.extra_children) {
+      std::sort(children.begin(), children.end());
+      ed.extra_referenced.push_back(to_row);
+    }
+    std::sort(ed.extra_referenced.begin(), ed.extra_referenced.end());
+
+    // Base to-rows whose last live referencing row was tombstoned.
+    for (uint32_t r : from_d.tombstones) {
+      if (r >= from_d.base_rows) continue;
+      const int32_t p = base.ParentRowOf(e, r);
+      if (p < 0 || !d.IsLive(fk.to_rel, static_cast<uint32_t>(p))) continue;
+      if (ed.dropped_referenced.count(static_cast<uint32_t>(p)) != 0) continue;
+      if (ed.extra_children.count(static_cast<uint32_t>(p)) != 0) continue;
+      bool any_live = false;
+      for (uint32_t child :
+           base.ChildRowsOf(e, static_cast<uint32_t>(p))) {
+        if (d.IsLive(fk.from_rel, child)) {
+          any_live = true;
+          break;
+        }
+      }
+      if (!any_live) ed.dropped_referenced.insert(static_cast<uint32_t>(p));
+    }
+
+    ed.affected = !from_d.rows.empty() || !from_d.tombstones.empty() ||
+                  !to_d.tombstones.empty() || !ed.revalidated.empty();
+  }
+  return view;
+}
+
+}  // namespace qbe

@@ -1,0 +1,166 @@
+#ifndef QBE_INGEST_DELTA_H_
+#define QBE_INGEST_DELTA_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "ingest/wal.h"
+#include "storage/database.h"
+
+namespace qbe {
+
+/// Immutable overlay over one base Database: the appended rows, tombstones,
+/// and the small hash-based delta indexes (inverted text postings, token
+/// dictionary extension, per-edge join structures) that query kernels
+/// consult alongside the base's CSR arrays (DESIGN.md §12).
+///
+/// A DeltaView is built in full by BuildDeltaView from the op log and never
+/// mutated afterwards — writers publish a *new* DeltaView per batch and swap
+/// it in under the version lock, so in-flight readers holding the old
+/// shared_ptr keep a perfectly consistent epoch with zero synchronization
+/// on the read path.
+///
+/// Row addressing: relation r exposes one global row-id space — base rows
+/// [0, base_rows) followed by appended rows [base_rows, base_rows +
+/// appended). Tombstones are global ids (base or delta rows) and simply
+/// mark a row dead; ids are never reused until compaction renumbers.
+class DeltaView {
+ public:
+  /// Per-relation append/tombstone state.
+  struct RelDelta {
+    uint32_t base_rows = 0;
+    /// Appended rows in append order (row-major; deltas are small by
+    /// construction — compaction folds them into the base).
+    std::vector<std::vector<Value>> rows;
+    /// Liveness of each appended row (a later tombstone can kill it).
+    std::vector<char> row_live;
+    /// Dead global row ids (base and delta rows alike).
+    std::unordered_set<uint32_t> tombstones;
+    uint32_t live_rows = 0;  // live base + live appended
+    /// Live PK value → global row, per PK-target column. Only columns that
+    /// are the `to_col` of some foreign key are tracked (those are the only
+    /// columns with a uniqueness contract).
+    std::unordered_map<int, std::unordered_map<int64_t, uint32_t>> pk_by_col;
+
+    bool has_delta() const { return !rows.empty() || !tombstones.empty(); }
+  };
+
+  /// Delta inverted index of one text column (by global text-column gid):
+  /// hash-keyed positional postings over the appended live rows only.
+  struct GidDelta {
+    /// Token id → packed (global_row << 32 | position), ascending. Keys may
+    /// be base-dictionary ids or delta ids (>= base dict size). An ordered
+    /// map keeps iteration deterministic.
+    std::map<uint32_t, std::vector<uint64_t>> postings;
+    /// Token count per appended row (indexed global_row - base_rows;
+    /// includes dead rows, which have no postings).
+    std::vector<uint32_t> row_token_counts;
+  };
+
+  /// Per-FK-edge join overlay. `affected` is true when this edge's reads
+  /// cannot be served from the base arrays verbatim: appended rows on the
+  /// FK side, revalidations, or tombstones on either endpoint relation.
+  struct EdgeDelta {
+    bool affected = false;
+    /// Appended from-row (index global - base_from_rows) → live global
+    /// parent row, or -1 (dangling). Resolved at build time against the
+    /// final liveness of this epoch.
+    std::vector<int32_t> delta_parent;
+    /// Base from-rows whose base-resolved parent is missing or dead but
+    /// whose FK value now matches a live appended PK row (revalidated
+    /// dangling rows, and delete-then-reinsert reparenting).
+    std::unordered_map<uint32_t, int32_t> revalidated;
+    std::vector<uint32_t> revalidated_rows;  // sorted keys of `revalidated`
+    /// Global to-row → sorted live global from-rows joined to it beyond the
+    /// base child CSR (appended rows, plus revalidated base rows for
+    /// appended parents).
+    std::unordered_map<uint32_t, std::vector<uint32_t>> extra_children;
+    /// Sorted global to-rows newly referenced by at least one live from-row
+    /// (merged over the base ReferencedRows span at read time).
+    std::vector<uint32_t> extra_referenced;
+    /// Base to-rows that lost their last live referencing row.
+    std::unordered_set<uint32_t> dropped_referenced;
+  };
+
+  uint64_t epoch = 0;
+  /// Ops consumed from the log to build this view (compaction bookkeeping).
+  size_t num_ops = 0;
+  size_t appended_total = 0;
+  size_t tombstones_total = 0;
+
+  std::vector<RelDelta> rels;    // by relation id
+  std::map<int, GidDelta> gids;  // text-column gid → delta postings
+  std::vector<EdgeDelta> edges;  // by edge id
+
+  bool empty() const { return appended_total == 0 && tombstones_total == 0; }
+
+  // --- delta token dictionary ----------------------------------------------
+  // Tokens unseen by the base dictionary get ids base_dict_size + i, so a
+  // phrase over fresh vocabulary still resolves to real ids (the base index
+  // simply has no postings for them).
+
+  uint32_t base_dict_size = 0;
+
+  /// Id of a delta-only token, or TokenDict::kNoToken.
+  uint32_t FindDeltaToken(std::string_view token) const {
+    auto it = delta_token_ids_.find(token);
+    return it == delta_token_ids_.end() ? TokenDict::kNoToken : it->second;
+  }
+
+  size_t delta_dict_size() const { return delta_tokens_.size(); }
+
+  // --- read helpers (called by DbView) -------------------------------------
+
+  bool IsLive(int rel, uint32_t row) const {
+    return rels[rel].tombstones.count(row) == 0;
+  }
+
+  uint32_t TotalRows(int rel) const {
+    return rels[rel].base_rows + static_cast<uint32_t>(rels[rel].rows.size());
+  }
+
+  /// Appends the live appended rows of `gid`'s column whose cells contain
+  /// the phrase, ascending global ids (all >= base_rows, so concatenating
+  /// after the base index's matches keeps the output sorted). An empty
+  /// phrase matches every live appended row.
+  void MatchPhraseInto(int rel, int gid, std::span<const uint32_t> ids,
+                       std::vector<uint32_t>* rows) const;
+
+  /// Exact-cell variant (phrase at position 0 covering the whole cell).
+  void MatchExactInto(int rel, int gid, std::span<const uint32_t> ids,
+                      std::vector<uint32_t>* rows) const;
+
+  /// True iff some live appended row of `gid`'s column contains the phrase.
+  bool AnyMatch(int rel, int gid, std::span<const uint32_t> ids) const;
+
+ private:
+  friend std::shared_ptr<const DeltaView> BuildDeltaView(
+      const Database& base, std::span<const WalRecord> ops, uint64_t epoch);
+
+  /// Build-time interning of a delta-only token.
+  uint32_t InternDeltaToken(std::string_view token);
+
+  std::deque<std::string> delta_tokens_;  // stable addresses for the views
+  std::unordered_map<std::string_view, uint32_t> delta_token_ids_;
+};
+
+/// Rebuilds the full overlay for `ops` against `base`. Ops must already be
+/// validated (LiveDatabase validates at admission and on WAL replay):
+/// relation ids in range, arities/types matching, no live-PK duplicates, no
+/// double tombstones. Cost is O(|ops| · lookup) — bounded because the
+/// Compactor folds the log into a fresh base before it grows large.
+std::shared_ptr<const DeltaView> BuildDeltaView(const Database& base,
+                                                std::span<const WalRecord> ops,
+                                                uint64_t epoch);
+
+}  // namespace qbe
+
+#endif  // QBE_INGEST_DELTA_H_

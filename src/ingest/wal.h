@@ -1,0 +1,112 @@
+#ifndef QBE_INGEST_WAL_H_
+#define QBE_INGEST_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/relation.h"
+
+namespace qbe {
+
+/// One logical mutation against a live database. Appends carry the full row
+/// (column order of the relation); tombstones carry the global row id being
+/// deleted (base rows and delta rows share one id space per relation:
+/// base ids [0, base_rows), delta ids from base_rows up).
+struct WalRecord {
+  enum Kind : uint32_t { kAppend = 1, kTombstone = 2 };
+
+  uint32_t kind = kAppend;
+  uint32_t rel = 0;
+  std::vector<Value> values;  // kAppend
+  uint32_t row = 0;           // kTombstone
+
+  friend bool operator==(const WalRecord& a, const WalRecord& b) {
+    return a.kind == b.kind && a.rel == b.rel && a.values == b.values &&
+           a.row == b.row;
+  }
+};
+
+// On-disk layout of a `.qbel` write-ahead log (DESIGN.md §12):
+//
+//   [u64 magic][u32 version][u32 reserved]            16-byte header
+//   repeated records:
+//     [u32 payload_bytes][u32 kind][payload][u64 checksum]
+//
+// The checksum is XXH64 over (payload_bytes || kind || payload), so a bit
+// flip anywhere in a record — including its length prefix — fails
+// verification. Append payload: u32 rel, u32 num_cells, then per cell a u8
+// type tag (0 = id, 1 = text) followed by i64 (id) or u32 len + bytes
+// (text). Tombstone payload: u32 rel, u32 global row id.
+inline constexpr uint64_t kWalMagic = 0x314C4157454251ULL;  // "QBEWAL1\0"
+inline constexpr uint32_t kWalVersion = 1;
+
+/// Serializes `record` into the on-disk framing (length prefix + kind +
+/// payload + checksum), appended to `*out`. Exposed for tests that build
+/// corrupted logs byte by byte.
+void EncodeWalRecord(const WalRecord& record, std::string* out);
+
+/// The 16-byte WAL file header.
+std::string EncodeWalHeader();
+
+/// Outcome of reading a WAL from disk.
+struct WalReadResult {
+  /// False iff the log is unusable: bad header, a record whose checksum
+  /// fails, or an undecodable payload. `error` describes the problem.
+  bool ok = false;
+  /// Records decoded, in log order. On a torn tail this is the complete
+  /// prefix; on ok == false it is whatever decoded before the failure (for
+  /// diagnostics only — callers must not apply it).
+  std::vector<WalRecord> records;
+  /// True when the file ends mid-record (a crash between write and sync).
+  /// The complete-record prefix is still trustworthy — this is the normal
+  /// crash-recovery case, distinct from a checksum failure.
+  bool truncated_tail = false;
+  std::string error;
+};
+
+/// Reads and verifies every record of the WAL at `path`. A missing file is
+/// reported as ok with zero records (a fresh database simply has no log
+/// yet). Corruption (checksum mismatch, bad magic/version, undecodable
+/// payload) is a hard failure; a torn final record is not.
+WalReadResult ReadWal(const std::string& path);
+
+/// Append-only WAL writer. Records are framed and checksummed by Append;
+/// Sync flushes and fsyncs. Truncate atomically replaces the log's contents
+/// with `records` (compaction: ops already merged into the new base are
+/// dropped, unmerged ones are kept) via a temp file + rename.
+class WalWriter {
+ public:
+  WalWriter() = default;
+  ~WalWriter();
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Opens `path` for appending, writing the header if the file is new or
+  /// empty. An existing log is NOT re-verified here — callers replay it
+  /// with ReadWal first and refuse to append to a corrupt log.
+  bool Open(const std::string& path, std::string* error);
+
+  bool is_open() const { return file_ != nullptr; }
+  const std::string& path() const { return path_; }
+
+  /// Appends one framed record. Buffered; call Sync to make it durable.
+  bool Append(const WalRecord& record, std::string* error);
+
+  /// Flushes buffered records and fsyncs the file.
+  bool Sync(std::string* error);
+
+  /// Atomically replaces the log with `records` (temp file + fsync +
+  /// rename). The writer stays open on the new log.
+  bool Truncate(const std::vector<WalRecord>& records, std::string* error);
+
+  void Close();
+
+ private:
+  std::string path_;
+  void* file_ = nullptr;  // FILE*; void* keeps <cstdio> out of the header
+};
+
+}  // namespace qbe
+
+#endif  // QBE_INGEST_WAL_H_

@@ -52,7 +52,7 @@ struct DiscoveryService::Request {
 };
 
 DiscoveryService::DiscoveryService(Database db, ServiceOptions options)
-    : db_(std::move(db)),
+    : live_(std::move(db)),
       options_(std::move(options)),
       cache_(options_.cache_shards),
       pool_(std::make_unique<ThreadPool>(options_.num_workers,
@@ -64,6 +64,22 @@ DiscoveryService::DiscoveryService(Database db, ServiceOptions options)
     // pool themselves, so it cannot deadlock.
     verify_pool_ = std::make_unique<ThreadPool>(
         options_.discovery.verify.threads, /*max_queue_depth=*/1024);
+  }
+  if (!options_.wal_path.empty() &&
+      !live_.AttachWal(options_.wal_path, &wal_error_)) {
+    metrics_.GetCounter("wal_attach_failed").Increment();
+  }
+  if (options_.compact_after_ops > 0) {
+    Compactor::Options co;
+    co.ops_threshold = options_.compact_after_ops;
+    co.snapshot_path = options_.compact_snapshot_path;
+    co.on_compaction = [this](const CompactionStats& stats) {
+      RecordCompaction(stats);
+    };
+    co.on_error = [this](const std::string&) {
+      metrics_.GetCounter("compactions_failed").Increment();
+    };
+    compactor_ = std::make_unique<Compactor>(&live_, std::move(co));
   }
 }
 
@@ -124,7 +140,13 @@ void DiscoveryService::Run(const std::shared_ptr<Request>& request) {
   options.deadline = request->has_deadline ? &request->deadline : nullptr;
   options.verify_pool = verify_pool_.get();
 
-  DiscoveryResult result = DiscoverQueries(db_, request->et, options);
+  // Pin the epoch current right now: the whole discovery reads this one
+  // consistent base+delta snapshot, and the pin keeps it alive across any
+  // concurrent appends or compactions. The epoch namespaces the shared
+  // eval cache, so outcomes never cross data versions.
+  const DbVersion version = live_.Pin();
+  DiscoveryResult result =
+      DiscoverQueries(version.view(), request->et, options, version.epoch);
 
   ServiceResponse response;
   response.queue_seconds = queued;
@@ -153,8 +175,65 @@ void DiscoveryService::Run(const std::shared_ptr<Request>& request) {
   request->promise.set_value(std::move(response));
 }
 
+bool DiscoveryService::Append(int rel, std::vector<Value> values,
+                              std::string* error) {
+  if (!live_.Append(rel, std::move(values), error)) {
+    metrics_.GetCounter("appends_rejected").Increment();
+    return false;
+  }
+  metrics_.GetCounter("rows_appended").Increment();
+  return true;
+}
+
+bool DiscoveryService::AppendBatch(int rel,
+                                   std::vector<std::vector<Value>> rows,
+                                   std::string* error) {
+  const int64_t n = static_cast<int64_t>(rows.size());
+  if (!live_.AppendBatch(rel, std::move(rows), error)) {
+    metrics_.GetCounter("appends_rejected").Increment(n);
+    return false;
+  }
+  metrics_.GetCounter("rows_appended").Increment(n);
+  return true;
+}
+
+bool DiscoveryService::Tombstone(int rel, uint32_t row, std::string* error) {
+  if (!live_.Tombstone(rel, row, error)) {
+    metrics_.GetCounter("tombstones_rejected").Increment();
+    return false;
+  }
+  metrics_.GetCounter("rows_tombstoned").Increment();
+  return true;
+}
+
+bool DiscoveryService::Flush(std::string* error) { return live_.Flush(error); }
+
+bool DiscoveryService::CompactNow(std::string* error, CompactionStats* stats) {
+  CompactionStats local;
+  if (stats == nullptr) stats = &local;
+  if (!live_.Compact(options_.compact_snapshot_path, error, stats)) {
+    metrics_.GetCounter("compactions_failed").Increment();
+    return false;
+  }
+  if (stats->epoch != 0) RecordCompaction(*stats);
+  return true;
+}
+
+void DiscoveryService::RecordCompaction(const CompactionStats& stats) {
+  metrics_.GetCounter("compactions").Increment();
+  metrics_.GetCounter("compacted_appends")
+      .Increment(static_cast<int64_t>(stats.merged_appends));
+  metrics_.GetCounter("compacted_tombstones")
+      .Increment(static_cast<int64_t>(stats.merged_tombstones));
+  metrics_.GetHistogram("compaction_seconds", LatencyBuckets())
+      .Observe(stats.seconds);
+}
+
 void DiscoveryService::Shutdown() {
   accepting_.store(false, std::memory_order_release);
+  // Stop the compactor first: a merge mid-teardown would race the pools'
+  // drain (and its epoch publish would be pointless anyway).
+  if (compactor_ != nullptr) compactor_->Stop();
   pool_->Shutdown();  // drains queued + in-flight; their promises resolve
   // Only after every request drained: stop the verification workers.
   if (verify_pool_ != nullptr) verify_pool_->Shutdown();
@@ -172,6 +251,11 @@ std::string DiscoveryService::MetricsDump() {
                     verify_pool_ == nullptr
                         ? 1.0
                         : static_cast<double>(verify_pool_->num_threads()));
+  metrics_.SetGauge("db_epoch", static_cast<double>(live_.epoch()));
+  metrics_.SetGauge("delta_rows", static_cast<double>(live_.delta_rows()));
+  metrics_.SetGauge("delta_tombstones",
+                    static_cast<double>(live_.tombstones()));
+  metrics_.SetGauge("wal_attached", live_.has_wal() ? 1.0 : 0.0);
   return metrics_.Dump();
 }
 

@@ -11,6 +11,8 @@
 
 #include "core/discovery.h"
 #include "core/example_table.h"
+#include "ingest/compactor.h"
+#include "ingest/live_db.h"
 #include "service/concurrent_eval_cache.h"
 #include "service/metrics.h"
 #include "storage/database.h"
@@ -63,15 +65,34 @@ struct ServiceOptions {
   /// discovery starts (e.g. a latch that holds the worker busy so
   /// admission-control tests can fill the queue deterministically).
   std::function<void()> on_request_start;
+
+  /// WAL to replay and arm at construction ("" = no WAL). Its ops become
+  /// the starting overlay; subsequent Append/Tombstone calls are logged
+  /// and durable after Flush. A log inconsistent with the database refuses
+  /// to attach: the service still starts (read-only-safe) and wal_error()
+  /// carries the reason.
+  std::string wal_path;
+
+  /// Background compaction: fold the overlay into a fresh base once this
+  /// many ops are logged (0 = background compaction off; CompactNow still
+  /// works).
+  size_t compact_after_ops = 0;
+
+  /// Snapshot refresh target for compaction. Required (by
+  /// LiveDatabase::Compact) whenever a WAL is attached.
+  std::string compact_snapshot_path;
 };
 
-/// Concurrent discovery server: owns the (immutable, indexed) database, a
-/// fixed worker pool, a bounded admission queue, a sharded verification
-/// cache shared by all requests, and a metrics registry. This is the
-/// architectural seam between the single-threaded discovery kernel and a
-/// network frontend: Submit is the whole request lifecycle — admission
-/// (reject when the queue is full), queueing, deadline-bounded execution,
-/// and a future carrying the response.
+/// Concurrent discovery server: owns the live database (immutable base +
+/// mutable ingestion overlay), a fixed worker pool, a bounded admission
+/// queue, a sharded verification cache shared by all requests, and a
+/// metrics registry. This is the architectural seam between the
+/// single-threaded discovery kernel and a network frontend: Submit is the
+/// whole request lifecycle — admission (reject when the queue is full),
+/// queueing, deadline-bounded execution, and a future carrying the
+/// response. Each request pins the epoch current at execution start and
+/// sees that consistent snapshot for its whole run, no matter how many
+/// appends, tombstones or compactions land meanwhile.
 ///
 /// Thread safety: Submit/Discover may be called from any number of client
 /// threads. Shutdown drains queued and in-flight requests (their futures
@@ -100,7 +121,38 @@ class DiscoveryService {
   /// Stops admitting, drains queued + in-flight requests, joins workers.
   void Shutdown();
 
-  const Database& db() const { return db_; }
+  // --- live ingestion (DESIGN.md §12) --------------------------------------
+  //
+  // Appends/tombstones publish a new epoch immediately; requests already
+  // running keep their pinned epoch (consistent snapshots), requests
+  // admitted afterwards see the new data. All mutators are thread-safe.
+
+  /// Admits one appended row. On rejection (bad arity/type, duplicate PK)
+  /// nothing changes and `*error` explains why.
+  bool Append(int rel, std::vector<Value> values, std::string* error);
+
+  /// Admits a batch under one epoch publish (all-or-nothing).
+  bool AppendBatch(int rel, std::vector<std::vector<Value>> rows,
+                   std::string* error);
+
+  /// Deletes the live row with global id `row` of relation `rel`.
+  bool Tombstone(int rel, uint32_t row, std::string* error);
+
+  /// Fsyncs the WAL; appends are durable after this returns (no-op without
+  /// a WAL).
+  bool Flush(std::string* error);
+
+  /// Synchronously folds the overlay into a fresh base (and refreshes the
+  /// snapshot per ServiceOptions::compact_snapshot_path).
+  bool CompactNow(std::string* error, CompactionStats* stats = nullptr);
+
+  /// Catalog/data of the currently published epoch. The reference is stable
+  /// until the next compaction swaps the base (fine for single-threaded
+  /// test setup; concurrent readers should Pin via live()).
+  const Database& db() const { return *live_.Pin().base; }
+  LiveDatabase& live() { return live_; }
+  /// Why ServiceOptions::wal_path failed to attach ("" = attached or none).
+  const std::string& wal_error() const { return wal_error_; }
   ConcurrentEvalCache& cache() { return cache_; }
   MetricsRegistry& metrics() { return metrics_; }
 
@@ -112,9 +164,11 @@ class DiscoveryService {
   struct Request;
 
   void Run(const std::shared_ptr<Request>& request);
+  void RecordCompaction(const CompactionStats& stats);
 
-  Database db_;
+  LiveDatabase live_;
   ServiceOptions options_;
+  std::string wal_error_;
   ConcurrentEvalCache cache_;
   MetricsRegistry metrics_;
   std::atomic<bool> accepting_{true};
@@ -122,9 +176,12 @@ class DiscoveryService {
   // discovery.verify.threads <= 1). Declared before pool_ so it outlives
   // the request workers that submit to it.
   std::unique_ptr<ThreadPool> verify_pool_;
-  // Declared last so its destructor (which joins workers running Run) fires
-  // first, while the members Run touches are still alive.
+  // Declared after the members Run touches so its destructor (which joins
+  // workers running Run) fires first, while they are still alive.
   std::unique_ptr<ThreadPool> pool_;
+  // Declared last: stopped/destroyed first so no compaction runs while the
+  // service tears down.
+  std::unique_ptr<Compactor> compactor_;
 };
 
 }  // namespace qbe

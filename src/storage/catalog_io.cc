@@ -91,10 +91,11 @@ std::optional<Database> LoadDatabase(const std::string& dir,
       if (!std::filesystem::exists(path)) {
         return fail(at_line("relation file does not exist: " + path));
       }
-      std::optional<Relation> loaded = LoadRelationFromCsv(name, path);
+      std::string csv_error;
+      std::optional<Relation> loaded =
+          LoadRelationFromCsv(name, path, &csv_error);
       if (!loaded.has_value()) {
-        return fail(at_line("failed to parse CSV " + path +
-                            " (empty header or ragged rows)"));
+        return fail(at_line("failed to parse CSV " + path + ": " + csv_error));
       }
       // Re-type columns per the manifest: CSV inference can misjudge (an
       // empty text column of digits), the manifest is authoritative.

@@ -62,21 +62,35 @@ std::vector<std::string> ParseCsvLine(const std::string& line) {
 }
 
 std::optional<Relation> LoadRelationFromCsv(const std::string& relation_name,
-                                            const std::string& path) {
+                                            const std::string& path,
+                                            std::string* error) {
+  auto fail = [&](const std::string& message) -> std::optional<Relation> {
+    if (error != nullptr) {
+      *error = "relation '" + relation_name + "': " + message;
+    }
+    return std::nullopt;
+  };
   std::ifstream in(path);
-  if (!in) return std::nullopt;
+  if (!in) return fail("cannot open " + path);
   std::string line;
-  if (!std::getline(in, line)) return std::nullopt;
+  if (!std::getline(in, line)) return fail("missing header row in " + path);
   if (!line.empty() && line.back() == '\r') line.pop_back();
   std::vector<std::string> header = ParseCsvLine(line);
-  if (header.empty()) return std::nullopt;
+  if (header.empty()) return fail("empty header row in " + path);
 
   std::vector<std::vector<std::string>> raw_rows;
+  int line_no = 1;  // the header was line 1
   while (std::getline(in, line)) {
+    ++line_no;
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
     std::vector<std::string> fields = ParseCsvLine(line);
-    if (fields.size() != header.size()) return std::nullopt;
+    if (fields.size() != header.size()) {
+      return fail("row " + std::to_string(raw_rows.size() + 1) + " (line " +
+                  std::to_string(line_no) + ") has " +
+                  std::to_string(fields.size()) + " fields, expected " +
+                  std::to_string(header.size()));
+    }
     raw_rows.push_back(std::move(fields));
   }
 

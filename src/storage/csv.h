@@ -15,9 +15,11 @@ std::vector<std::string> ParseCsvLine(const std::string& line);
 /// Loads a relation from a CSV file. The header row provides column names;
 /// a column whose every non-header value parses as an integer becomes an id
 /// column, everything else a text column. Returns std::nullopt on I/O or
-/// parse errors (ragged rows).
+/// parse errors (ragged rows); `*error` then pinpoints the failure with the
+/// relation name and the offending row/line number.
 std::optional<Relation> LoadRelationFromCsv(const std::string& relation_name,
-                                            const std::string& path);
+                                            const std::string& path,
+                                            std::string* error = nullptr);
 
 /// Writes `relation` to `path` (header + rows). Returns false on I/O error.
 bool WriteRelationToCsv(const Relation& relation, const std::string& path);

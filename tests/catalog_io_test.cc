@@ -7,6 +7,7 @@
 
 #include "core/discovery.h"
 #include "datagen/retailer.h"
+#include "storage/csv.h"
 
 namespace qbe {
 namespace {
@@ -93,6 +94,36 @@ TEST_F(CatalogIoTest, ErrorsDistinguishBadPathFromParseFailure) {
   EXPECT_FALSE(LoadDatabase(dir, &error).has_value());
   EXPECT_NE(error.find("schema.manifest:1:"), std::string::npos) << error;
   EXPECT_NE(error.find("relation"), std::string::npos) << error;
+}
+
+TEST_F(CatalogIoTest, RaggedCsvRowErrorNamesRelationAndRow) {
+  // A ragged data row must be reported with the relation's name and the
+  // offending row number, not just "parse failed" — on a million-row CSV
+  // the operator needs to know where to look.
+  std::string dir = TempDir("ragged");
+  std::filesystem::create_directories(dir);
+  std::ofstream(dir + "/orders.csv")
+      << "order_id,item\n1,apple\n2,pear,EXTRA\n3,plum\n";
+  std::ofstream(dir + "/schema.manifest")
+      << "relation orders orders.csv id,text\n";
+  std::string error;
+  EXPECT_FALSE(LoadDatabase(dir, &error).has_value());
+  EXPECT_NE(error.find("relation 'orders'"), std::string::npos) << error;
+  EXPECT_NE(error.find("row 2 (line 3)"), std::string::npos) << error;
+  EXPECT_NE(error.find("3 fields, expected 2"), std::string::npos) << error;
+
+  // The same diagnostics flow from LoadRelationFromCsv directly.
+  error.clear();
+  EXPECT_FALSE(
+      LoadRelationFromCsv("orders", dir + "/orders.csv", &error).has_value());
+  EXPECT_NE(error.find("relation 'orders'"), std::string::npos) << error;
+  EXPECT_NE(error.find("row 2 (line 3)"), std::string::npos) << error;
+
+  error.clear();
+  EXPECT_FALSE(
+      LoadRelationFromCsv("ghost", dir + "/nope.csv", &error).has_value());
+  EXPECT_NE(error.find("relation 'ghost'"), std::string::npos) << error;
+  EXPECT_NE(error.find("cannot open"), std::string::npos) << error;
 }
 
 TEST_F(CatalogIoTest, BadManifestLinesFail) {

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Fold per-PR benchmark artifacts into one perf-trajectory file.
+
+Each CI bench leg publishes a machine-readable ``results/BENCH_PR<n>.json``
+whose shape is owned by that PR's bench (google-benchmark dump, snapshot
+cold-start summary, service throughput table, ...). This script folds every
+``BENCH_PR*.json`` under --results-dir into ``BENCH_TRAJECTORY.json``: one
+entry per PR, ordered by PR number, each reduced to its scalar headline
+metrics so perf over time can be charted from a single small file without
+knowing every per-PR schema.
+
+Headline extraction is schema-agnostic: top-level scalars are kept as-is,
+scalars one dict level down are kept as ``<section>.<key>``, and lists
+contribute only their length as ``<key>_count``. Deterministic: running it
+twice over the same inputs produces byte-identical output.
+
+Usage:
+    python3 tools/merge_bench.py [--results-dir results] [--out ...]
+"""
+
+import argparse
+import glob
+import json
+import os
+import re
+import sys
+
+SCALARS = (int, float, str, bool)
+
+
+def headline_metrics(doc):
+    """Scalar summary of one bench artifact (see module docstring)."""
+    metrics = {}
+    if not isinstance(doc, dict):
+        return {"entries_count": len(doc)} if isinstance(doc, list) else {}
+    for key, value in doc.items():
+        if isinstance(value, SCALARS):
+            metrics[key] = value
+        elif isinstance(value, list):
+            metrics[key + "_count"] = len(value)
+        elif isinstance(value, dict):
+            for sub_key, sub_value in value.items():
+                if isinstance(sub_value, SCALARS):
+                    metrics[key + "." + sub_key] = sub_value
+    return metrics
+
+
+def fold(results_dir):
+    entries = []
+    pattern = os.path.join(results_dir, "BENCH_PR*.json")
+    for path in sorted(glob.glob(pattern)):
+        name = os.path.basename(path)
+        match = re.fullmatch(r"BENCH_PR(\d+)\.json", name)
+        if match is None:
+            print(f"skipping {name}: not BENCH_PR<n>.json", file=sys.stderr)
+            continue
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"skipping {name}: {e}", file=sys.stderr)
+            continue
+        entries.append({
+            "pr": int(match.group(1)),
+            "source": name,
+            "metrics": headline_metrics(doc),
+        })
+    entries.sort(key=lambda e: e["pr"])
+    return {"schema": "qbe-bench-trajectory-v1", "entries": entries}
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Fold results/BENCH_PR*.json into BENCH_TRAJECTORY.json")
+    parser.add_argument("--results-dir", default="results")
+    parser.add_argument("--out", default=None,
+                        help="output path (default: <results-dir>/"
+                             "BENCH_TRAJECTORY.json)")
+    args = parser.parse_args()
+    out_path = args.out or os.path.join(args.results_dir,
+                                        "BENCH_TRAJECTORY.json")
+    trajectory = fold(args.results_dir)
+    if not trajectory["entries"]:
+        print(f"no BENCH_PR*.json found under {args.results_dir}",
+              file=sys.stderr)
+        return 1
+    with open(out_path, "w") as f:
+        json.dump(trajectory, f, indent=2, sort_keys=True)
+        f.write("\n")
+    prs = ", ".join(str(e["pr"]) for e in trajectory["entries"])
+    print(f"wrote {out_path} (PRs: {prs})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

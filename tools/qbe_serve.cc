@@ -3,15 +3,23 @@
 // shared service and prints the metrics dump.
 //
 //   qbe_serve [--dataset retailer|imdb] [--scale S]
-//             [--snapshot FILE.qbes]
+//             [--snapshot FILE.qbes] [--wal FILE.qbel]
 //             [--requests FILE] [--repeat R]
 //             [--clients N] [--workers N] [--queue-depth N]
+//             [--append-mix P] [--compact-after N] [--compact-snapshot FILE]
 //             [--timeout-ms T] [--algorithm verifyall|simpleprune|filter|weave]
 //
 // With --snapshot, the database is mmap'd from a `.qbes` snapshot written
 // by `qbe_snapshot build` (zero-copy cold start) instead of being generated;
 // a corrupt or incompatible snapshot is reported and the server falls back
 // to generating the requested dataset.
+//
+// Live ingestion (DESIGN.md §12): --wal replays and arms an append-only log
+// so ingested rows survive restarts; --append-mix P makes each client turn
+// P% of its operations into row appends (synthetic rows, unique PKs) —
+// in-flight discoveries keep their pinned epoch while writers proceed;
+// --compact-after N folds the overlay into a fresh base (and refreshes
+// --compact-snapshot, default WAL path + ".qbes") every N logged ops.
 //
 // Request file format: one request per line; rows separated by ';', cells
 // by '|' (same cell syntax as qbe_cli --row). Example line for Figure 2:
@@ -46,9 +54,11 @@ void PrintUsage() {
   std::fprintf(
       stderr,
       "usage: qbe_serve [--dataset retailer|imdb] [--scale S]\n"
-      "                 [--snapshot FILE.qbes]\n"
+      "                 [--snapshot FILE.qbes] [--wal FILE.qbel]\n"
       "                 [--requests FILE] [--repeat R]\n"
       "                 [--clients N] [--workers N] [--queue-depth N]\n"
+      "                 [--append-mix P] [--compact-after N]\n"
+      "                 [--compact-snapshot FILE.qbes]\n"
       "                 [--timeout-ms T] [--verify-threads N]\n"
       "                 [--algorithm verifyall|simpleprune|filter|weave]\n");
 }
@@ -119,6 +129,7 @@ int main(int argc, char** argv) {
   double scale = 0.1;
   int repeat = 4;
   int clients = 8;
+  int append_mix = 0;  // percent of client ops that are row appends
   qbe::ServiceOptions service_options;
   long long timeout_ms = 0;
 
@@ -148,6 +159,16 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--timeout-ms") {
       if (const char* v = next()) timeout_ms = std::atoll(v);
+    } else if (arg == "--wal") {
+      if (const char* v = next()) service_options.wal_path = v;
+    } else if (arg == "--append-mix") {
+      if (const char* v = next()) append_mix = std::atoi(v);
+    } else if (arg == "--compact-after") {
+      if (const char* v = next()) {
+        service_options.compact_after_ops = static_cast<size_t>(std::atoll(v));
+      }
+    } else if (arg == "--compact-snapshot") {
+      if (const char* v = next()) service_options.compact_snapshot_path = v;
     } else if (arg == "--verify-threads") {
       // Parallel batched verification engine (DESIGN.md §9): the service
       // fans each request's CQ-row checks over a shared verify pool.
@@ -168,11 +189,16 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (clients <= 0 || repeat <= 0) {
+  if (clients <= 0 || repeat <= 0 || append_mix < 0 || append_mix > 100) {
     PrintUsage();
     return 2;
   }
   service_options.default_timeout = std::chrono::milliseconds(timeout_ms);
+  if (!service_options.wal_path.empty() &&
+      service_options.compact_snapshot_path.empty()) {
+    // A WAL-armed compaction must persist the merged state somewhere.
+    service_options.compact_snapshot_path = service_options.wal_path + ".qbes";
+  }
 
   if (dataset != "retailer" && dataset != "imdb") {
     std::fprintf(stderr, "unknown dataset %s\n", dataset.c_str());
@@ -233,17 +259,57 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Catalog sketch for synthetic appends, captured before the move: the
+  // base reference behind service.db() is not stable across compactions.
+  std::vector<std::vector<qbe::ColumnType>> append_schema;
+  for (int rel = 0; rel < db.num_relations(); ++rel) {
+    std::vector<qbe::ColumnType> cols;
+    for (const auto& def : db.relation(rel).columns()) {
+      cols.push_back(def.type);
+    }
+    append_schema.push_back(std::move(cols));
+  }
+
   qbe::DiscoveryService service(std::move(db), service_options);
+  if (!service.wal_error().empty()) {
+    std::fprintf(stderr, "warning: WAL not attached: %s\n",
+                 service.wal_error().c_str());
+  }
 
   // Each client replays the whole request list `repeat` times, offset by
-  // its id so clients hit different requests at the same instant.
+  // its id so clients hit different requests at the same instant. With
+  // --append-mix P, every 100 operations P of them are row appends
+  // (unique ids per client, so admission never rejects a duplicate PK).
   qbe::Stopwatch wall;
   std::vector<std::thread> client_threads;
   std::atomic<long long> ok{0}, rejected{0}, timed_out{0}, other{0};
+  std::atomic<long long> appended{0}, append_failed{0};
   for (int c = 0; c < clients; ++c) {
     client_threads.emplace_back([&, c] {
+      long long op = 0;
       for (int r = 0; r < repeat; ++r) {
-        for (size_t q = 0; q < requests.size(); ++q) {
+        for (size_t q = 0; q < requests.size(); ++q, ++op) {
+          if (append_mix > 0 && op % 100 < append_mix) {
+            int rel = static_cast<int>(op % append_schema.size());
+            long long uniq = 1'000'000'000LL +
+                             static_cast<long long>(c) * 10'000'000LL + op;
+            std::vector<qbe::Value> values;
+            for (qbe::ColumnType type : append_schema[rel]) {
+              if (type == qbe::ColumnType::kId) {
+                values.emplace_back(static_cast<int64_t>(uniq));
+              } else {
+                values.emplace_back("live ingest row " +
+                                    std::to_string(uniq));
+              }
+            }
+            std::string error;
+            if (service.Append(rel, std::move(values), &error)) {
+              appended.fetch_add(1, std::memory_order_relaxed);
+            } else {
+              append_failed.fetch_add(1, std::memory_order_relaxed);
+            }
+            continue;
+          }
           size_t pick = (q + static_cast<size_t>(c)) % requests.size();
           qbe::ServiceResponse response = service.Discover(requests[pick]);
           switch (response.status) {
@@ -266,6 +332,11 @@ int main(int argc, char** argv) {
   }
   for (std::thread& t : client_threads) t.join();
   double seconds = wall.ElapsedSeconds();
+  std::string flush_error;
+  if (!service.Flush(&flush_error)) {
+    std::fprintf(stderr, "warning: WAL flush failed: %s\n",
+                 flush_error.c_str());
+  }
   service.Shutdown();
 
   long long total = ok + rejected + timed_out + other;
@@ -276,6 +347,14 @@ int main(int argc, char** argv) {
       seconds > 0 ? static_cast<double>(total) / seconds : 0.0,
       static_cast<long long>(ok), static_cast<long long>(rejected),
       static_cast<long long>(timed_out), static_cast<long long>(other));
+  if (append_mix > 0) {
+    std::printf("appended %lld rows (%lld rejected), final epoch %llu, "
+                "%zu overlay rows\n",
+                static_cast<long long>(appended),
+                static_cast<long long>(append_failed),
+                static_cast<unsigned long long>(service.live().epoch()),
+                service.live().delta_rows());
+  }
   std::printf("%s", service.MetricsDump().c_str());
   return 0;
 }

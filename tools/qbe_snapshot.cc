@@ -6,6 +6,13 @@
 //   qbe_snapshot build --dataset retailer|imdb|cust [--scale S] --out FILE
 //   qbe_snapshot verify FILE.qbes        full checksum + bounds check
 //   qbe_snapshot info FILE.qbes          header + section directory dump
+//   qbe_snapshot compact --snapshot FILE.qbes --wal FILE.qbel [--out FILE]
+//                                        fold a WAL into a fresh snapshot
+//
+// `compact` is the offline form of the live compaction (DESIGN.md §12): it
+// replays the append-only log onto the snapshot's base, rebuilds the CSR
+// indexes over the merged live rows, writes the result (in place by
+// default, via temp + rename) and truncates the log.
 
 #include <cstdio>
 #include <cstdlib>
@@ -15,6 +22,7 @@
 #include "datagen/cust_like.h"
 #include "datagen/imdb_like.h"
 #include "datagen/retailer.h"
+#include "ingest/live_db.h"
 #include "snapshot/snapshot.h"
 #include "storage/catalog_io.h"
 #include "storage/database.h"
@@ -29,7 +37,9 @@ void PrintUsage() {
       "       qbe_snapshot build --dataset retailer|imdb|cust [--scale S]\n"
       "                          [--seed N] --out FILE.qbes\n"
       "       qbe_snapshot verify FILE.qbes\n"
-      "       qbe_snapshot info FILE.qbes\n");
+      "       qbe_snapshot info FILE.qbes\n"
+      "       qbe_snapshot compact --snapshot FILE.qbes --wal FILE.qbel\n"
+      "                            [--out FILE.qbes]\n");
 }
 
 int Build(int argc, char** argv) {
@@ -109,6 +119,62 @@ int Build(int argc, char** argv) {
   return 0;
 }
 
+int Compact(int argc, char** argv) {
+  std::string snapshot_path;
+  std::string wal_path;
+  std::string out_path;
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--snapshot") {
+      if (const char* v = next()) snapshot_path = v;
+    } else if (arg == "--wal") {
+      if (const char* v = next()) wal_path = v;
+    } else if (arg == "--out") {
+      if (const char* v = next()) out_path = v;
+    } else {
+      PrintUsage();
+      return 2;
+    }
+  }
+  if (snapshot_path.empty() || wal_path.empty()) {
+    std::fprintf(stderr, "compact needs --snapshot and --wal\n");
+    return 2;
+  }
+  if (out_path.empty()) out_path = snapshot_path;
+
+  std::string error;
+  std::optional<qbe::Database> db =
+      qbe::Database::OpenSnapshot(snapshot_path, &error);
+  if (!db.has_value()) {
+    std::fprintf(stderr, "failed to open snapshot: %s\n", error.c_str());
+    return 1;
+  }
+  qbe::LiveDatabase live(std::move(*db));
+  if (!live.AttachWal(wal_path, &error)) {
+    std::fprintf(stderr, "failed to attach WAL: %s\n", error.c_str());
+    return 1;
+  }
+  if (live.delta_ops() == 0) {
+    std::printf("%s: WAL is empty, nothing to compact\n", wal_path.c_str());
+    return 0;
+  }
+  qbe::Stopwatch timer;
+  qbe::CompactionStats stats;
+  if (!live.Compact(out_path, &error, &stats)) {
+    std::fprintf(stderr, "compaction failed: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf(
+      "compacted %zu appends + %zu tombstones into %s in %.3fs "
+      "(epoch %llu); WAL truncated\n",
+      stats.merged_appends, stats.merged_tombstones, out_path.c_str(),
+      timer.ElapsedSeconds(), static_cast<unsigned long long>(stats.epoch));
+  return 0;
+}
+
 int Verify(const std::string& path) {
   qbe::Stopwatch timer;
   std::string error;
@@ -155,6 +221,7 @@ int main(int argc, char** argv) {
   }
   const std::string command = argv[1];
   if (command == "build") return Build(argc - 2, argv + 2);
+  if (command == "compact") return Compact(argc - 2, argv + 2);
   if ((command == "verify" || command == "info") && argc == 3) {
     return command == "verify" ? Verify(argv[2]) : Info(argv[2]);
   }
