@@ -9,11 +9,23 @@
 #include "core/weave.h"
 #include "exec/executor.h"
 #include "exec/sql_render.h"
+#include "obs/trace.h"
 #include "schema/schema_graph.h"
 #include "util/stopwatch.h"
 
 namespace qbe {
 namespace {
+
+SpanKind VerifySpanKind(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kVerifyAll: return SpanKind::kVerifyAll;
+    case Algorithm::kSimplePrune: return SpanKind::kSimplePrune;
+    case Algorithm::kFilter: return SpanKind::kFilter;
+    case Algorithm::kFilterExact: return SpanKind::kFilterExact;
+    case Algorithm::kWeave: return SpanKind::kWeave;
+  }
+  return SpanKind::kVerifyAll;
+}
 
 std::unique_ptr<CandidateVerifier> MakeVerifier(
     const DiscoveryOptions& options) {
@@ -100,7 +112,17 @@ DiscoveryResult DiscoverQueries(const DbView& view, const ExampleTable& et,
   SchemaGraph graph(db);
   Executor exec(view, graph);
 
+  TraceContext* trace = options.trace;
+  if (trace != nullptr && view.delta() != nullptr) {
+    trace->Count(TraceCounter::kDeltaRows,
+                 static_cast<int64_t>(view.delta()->appended_total));
+    trace->Count(TraceCounter::kDeltaTombstones,
+                 static_cast<int64_t>(view.delta()->tombstones_total));
+  }
+
   Stopwatch gen_timer;
+  SpanRef gen_span =
+      trace == nullptr ? kNullSpan : trace->OpenSpan(SpanKind::kCandidateGen);
   CandidateGenOptions gen_options;
   gen_options.max_join_tree_size = options.max_join_tree_size;
   gen_options.max_candidates = options.max_candidates;
@@ -115,6 +137,11 @@ DiscoveryResult DiscoverQueries(const DbView& view, const ExampleTable& et,
       db, graph, et, candidate_columns, gen_options);
   result.candidate_gen_seconds = gen_timer.ElapsedSeconds();
   result.num_candidates = candidates.size();
+  if (trace != nullptr) {
+    trace->CloseSpan(gen_span);
+    trace->Count(TraceCounter::kCandidatesGenerated,
+                 static_cast<int64_t>(candidates.size()));
+  }
   if (candidates.empty()) return result;
 
   if (DeadlineExpired(options)) return MarkTimedOut(result);
@@ -122,7 +149,11 @@ DiscoveryResult DiscoverQueries(const DbView& view, const ExampleTable& et,
   // Resolve the ET's tokens against the version's dictionary once (base
   // dictionary plus overlay tokens); every predicate this request builds
   // carries id vectors from here on.
+  SpanRef resolve_span =
+      trace == nullptr ? kNullSpan
+                       : trace->OpenSpan(SpanKind::kEtTokenResolve);
   EtTokenIds et_ids(et, view);
+  if (trace != nullptr) trace->CloseSpan(resolve_span);
   MatchCache match_cache;
   VerifyContext ctx{db,           graph,         exec,
                     et,           candidates,    options.seed,
@@ -130,7 +161,18 @@ DiscoveryResult DiscoverQueries(const DbView& view, const ExampleTable& et,
                     options.verify, options.verify_pool,
                     &et_ids,
                     options.use_match_cache ? &match_cache : nullptr,
-                    data_epoch,   view.delta()};
+                    data_epoch,   view.delta(),
+                    trace};
+
+  // Per-algorithm verification span; evaluations fanned out to verify-pool
+  // workers hang off it via ctx.trace_parent.
+  SpanRef verify_span =
+      trace == nullptr
+          ? kNullSpan
+          : trace->OpenSpan(options.min_row_support >= 0
+                                ? SpanKind::kRelaxedVerify
+                                : VerifySpanKind(options.algorithm));
+  ctx.trace_parent = verify_span;
 
   std::vector<int> matched(candidates.size(), 0);
   std::vector<bool> keep(candidates.size(), false);
@@ -165,11 +207,25 @@ DiscoveryResult DiscoverQueries(const DbView& view, const ExampleTable& et,
       static_cast<int64_t>(match_cache.hits());
   result.counters.match_cache_lookups +=
       static_cast<int64_t>(match_cache.lookups());
+  if (trace != nullptr) {
+    trace->CloseSpan(verify_span);
+    trace->Count(TraceCounter::kQueriesVerified,
+                 result.counters.verifications);
+    trace->Count(TraceCounter::kMatchCacheHits,
+                 result.counters.match_cache_hits);
+    trace->Count(TraceCounter::kMatchCacheLookups,
+                 result.counters.match_cache_lookups);
+    trace->Count(TraceCounter::kSubtreeMemoHits,
+                 result.counters.subtree_memo_hits);
+    trace->Count(TraceCounter::kSubtreeMemoLookups,
+                 result.counters.subtree_memo_lookups);
+  }
 
   // An aborted run's validity vector is fabricated from the abort point on;
   // surface the timeout instead of a wrong answer.
   if (result.counters.aborted) return MarkTimedOut(result);
 
+  ScopedSpan rank_span(trace, SpanKind::kRank);
   std::vector<std::string> labels;
   for (int c = 0; c < et.num_columns(); ++c)
     labels.push_back(et.column_name(c));
@@ -189,6 +245,10 @@ DiscoveryResult DiscoverQueries(const DbView& view, const ExampleTable& et,
                      [](const DiscoveredQuery& a, const DiscoveredQuery& b) {
                        return a.score > b.score;
                      });
+  }
+  if (trace != nullptr) {
+    trace->Count(TraceCounter::kValidQueries,
+                 static_cast<int64_t>(result.queries.size()));
   }
   return result;
 }

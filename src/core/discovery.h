@@ -12,6 +12,8 @@
 
 namespace qbe {
 
+class TraceContext;
+
 /// Which candidate-verification algorithm drives discovery. All produce
 /// identical valid sets; they differ in cost (§2.3).
 enum class Algorithm {
@@ -76,6 +78,13 @@ struct DiscoveryOptions {
   /// execution-cost optimization: outcomes, verification counts, and the
   /// valid set are bit-identical with it on or off, at any thread count.
   bool use_match_cache = true;
+
+  /// Optional request-scoped trace (obs/trace.h, DESIGN.md §13): discovery
+  /// records per-phase spans (candidate generation, per-algorithm verify,
+  /// text matching, cache lookups) and counters into it. Not owned.
+  /// Tracing is observation-only: outcomes, verification counts, and the
+  /// valid set are bit-identical with it armed or null.
+  TraceContext* trace = nullptr;
 };
 
 /// One discovered query: the minimal valid project-join query, its SQL

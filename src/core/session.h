@@ -48,6 +48,11 @@ class DiscoverySession {
   /// Removes the last row (undo); cached outcomes are kept.
   void RemoveLastRow();
 
+  /// Arms (null = disarms) request tracing for subsequent Discover calls
+  /// (obs/trace.h; observation-only — outcomes and verification counts are
+  /// unaffected). Not owned; must outlive the Discover calls it covers.
+  void set_trace(TraceContext* trace) { options_.trace = trace; }
+
   /// Runs discovery for the current table, reusing cached outcomes.
   /// Check-fails if no rows have been provided yet.
   DiscoveryResult Discover();

@@ -12,6 +12,7 @@
 #include "core/example_table.h"
 #include "core/filter.h"
 #include "exec/executor.h"
+#include "obs/trace.h"
 #include "schema/schema_graph.h"
 #include "storage/database.h"
 #include "util/check.h"
@@ -212,6 +213,14 @@ struct VerifyContext {
   /// that consult row counts directly (e.g. FILTER's trivial-success check)
   /// must count live rows through DbView(db, delta), not db alone.
   const DeltaView* delta = nullptr;
+  /// Optional request trace (obs/trace.h); EvalEngine records cache-lookup
+  /// and execution spans into it. Observation-only — never changes
+  /// outcomes or counters. Not owned.
+  TraceContext* trace = nullptr;
+  /// Parent for spans opened on verify-pool worker threads, whose lanes
+  /// have no enclosing span: discovery points this at the per-algorithm
+  /// verify span so fan-out evaluations stitch under it.
+  SpanRef trace_parent = kNullSpan;
 };
 
 /// Counting wrapper around the executor: evaluates one filter / CQ-row

@@ -49,16 +49,32 @@ bool EvalEngine::Execute(const JoinTree& tree,
     if (ctx_.data_epoch != 0) {
       key.insert(0, '@' + std::to_string(ctx_.data_epoch) + '#');
     }
-    if (std::optional<bool> cached = ctx_.cache->Lookup(key)) return *cached;
+    std::optional<bool> cached;
+    {
+      ScopedSpan lookup_span(ctx_.trace, SpanKind::kEvalCacheLookup,
+                             ctx_.trace_parent);
+      cached = ctx_.cache->Lookup(key);
+    }
+    if (ctx_.trace != nullptr) {
+      ctx_.trace->Count(TraceCounter::kEvalCacheLookups, 1);
+      if (cached.has_value()) {
+        ctx_.trace->Count(TraceCounter::kEvalCacheHits, 1);
+      }
+    }
+    if (cached.has_value()) return *cached;
     counters_->verifications += 1;
     counters_->estimated_cost += cost;
-    bool ok = ctx_.exec.Exists(tree, predicates, memo_, ctx_.match_cache);
+    ScopedSpan exec_span(ctx_.trace, SpanKind::kEvalExec, ctx_.trace_parent);
+    bool ok = ctx_.exec.Exists(tree, predicates, memo_, ctx_.match_cache,
+                               ctx_.trace);
     ctx_.cache->Insert(key, ok);
     return ok;
   }
   counters_->verifications += 1;
   counters_->estimated_cost += cost;
-  return ctx_.exec.Exists(tree, predicates, memo_, ctx_.match_cache);
+  ScopedSpan exec_span(ctx_.trace, SpanKind::kEvalExec, ctx_.trace_parent);
+  return ctx_.exec.Exists(tree, predicates, memo_, ctx_.match_cache,
+                          ctx_.trace);
 }
 
 bool EvalEngine::EvaluateFilter(const Filter& filter) {

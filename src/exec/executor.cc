@@ -4,6 +4,7 @@
 #include <bit>
 #include <unordered_set>
 
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/intersect.h"
 
@@ -59,11 +60,16 @@ void EmitBitmap(const std::vector<uint64_t>& bits,
 
 bool Executor::SeedNode(int vertex,
                         const std::vector<const PhrasePredicate*>& predicates,
-                        NodeState* state, MatchCache* match_cache) const {
+                        NodeState* state, MatchCache* match_cache,
+                        TraceContext* trace) const {
   state->rel = vertex;
   state->full = true;
   state->rows.clear();
   ExecScratch& scratch = Scratch();
+  // Text-match phase span: covers every phrase probe of this node. Null
+  // context (or a predicate-free seed) records nothing.
+  ScopedSpan match_span(predicates.empty() ? nullptr : trace,
+                        SpanKind::kTextMatch);
   for (const PhrasePredicate* pred : predicates) {
     // Predicates built by the discovery pipeline carry ids resolved once
     // per request; hand-built ones fall back to a per-call dictionary
@@ -225,9 +231,11 @@ void ScanSubtree(const SchemaGraph& graph, const JoinTree& tree, int vertex,
 Executor::NodeState Executor::Reduce(
     const JoinTree& tree, int vertex, int via_edge,
     const std::vector<std::vector<const PhrasePredicate*>>& preds_by_vertex,
-    bool* feasible, SubtreeMemo* memo, MatchCache* match_cache) const {
+    bool* feasible, SubtreeMemo* memo, MatchCache* match_cache,
+    TraceContext* trace) const {
   NodeState state;
-  if (!SeedNode(vertex, preds_by_vertex[vertex], &state, match_cache)) {
+  if (!SeedNode(vertex, preds_by_vertex[vertex], &state, match_cache,
+                trace)) {
     *feasible = false;
     return state;
   }
@@ -249,7 +257,8 @@ Executor::NodeState Executor::Reduce(
         if (cached == nullptr) {
           bool child_feasible = true;
           NodeState fresh = Reduce(tree, child_vertex, e, preds_by_vertex,
-                                   &child_feasible, memo, match_cache);
+                                   &child_feasible, memo, match_cache,
+                                   trace);
           if (!child_feasible) {
             fresh.full = false;
             fresh.rows.clear();
@@ -272,7 +281,7 @@ Executor::NodeState Executor::Reduce(
     }
 
     NodeState child = Reduce(tree, child_vertex, e, preds_by_vertex, feasible,
-                             memo, match_cache);
+                             memo, match_cache, trace);
     if (!*feasible) return state;
     Semijoin(&state, e, child);
     if (state.Empty()) {
@@ -285,7 +294,8 @@ Executor::NodeState Executor::Reduce(
 
 bool Executor::Exists(const JoinTree& tree,
                       const std::vector<PhrasePredicate>& predicates,
-                      SubtreeMemo* memo, MatchCache* match_cache) const {
+                      SubtreeMemo* memo, MatchCache* match_cache,
+                      TraceContext* trace) const {
   // Bucket predicates by vertex without copying them; the per-thread bucket
   // vectors keep their capacity across calls.
   thread_local std::vector<std::vector<const PhrasePredicate*>>
@@ -305,7 +315,7 @@ bool Executor::Exists(const JoinTree& tree,
   QBE_CHECK(root >= 0);
   bool feasible = true;
   NodeState state = Reduce(tree, root, -1, preds_by_vertex, &feasible, memo,
-                           match_cache);
+                           match_cache, trace);
   if (!feasible) return false;
   if (state.full) return view_.LiveRows(root) > 0;
   return !state.rows.empty();
@@ -328,7 +338,8 @@ std::vector<std::vector<uint32_t>> Executor::MaterializeAssignments(
   std::vector<int> vertices = tree.Vertices();
   std::vector<NodeState> seeded(graph_.num_vertices());
   for (int v : vertices) {
-    if (!SeedNode(v, preds_by_vertex[v], &seeded[v], nullptr)) return results;
+    if (!SeedNode(v, preds_by_vertex[v], &seeded[v], nullptr, nullptr))
+      return results;
   }
 
   // Root at the most selective node (fewest candidate rows; an

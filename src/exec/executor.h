@@ -18,6 +18,8 @@
 
 namespace qbe {
 
+class TraceContext;
+
 /// Join-tree executor: the stand-in for the paper's SQL Server backend.
 /// Evaluates existence queries
 ///
@@ -116,11 +118,13 @@ class Executor {
   /// This is the engine behind every CQ-row and filter verification. A
   /// non-null `memo` shares reduced predicate-free subtrees across calls; a
   /// non-null `match_cache` shares per-(column, phrase) row sets across
-  /// calls (both thread-safe and outcome-neutral).
+  /// calls (both thread-safe and outcome-neutral). A non-null `trace`
+  /// records text-match spans (obs/trace.h); observation-only.
   bool Exists(const JoinTree& tree,
               const std::vector<PhrasePredicate>& predicates,
               SubtreeMemo* memo = nullptr,
-              MatchCache* match_cache = nullptr) const;
+              MatchCache* match_cache = nullptr,
+              TraceContext* trace = nullptr) const;
 
   /// Materializes up to `limit` result tuples of the join of `tree` under
   /// `predicates`, projected onto `projection` (text columns). Used to build
@@ -142,7 +146,8 @@ class Executor {
   /// Match row sets come from `match_cache` when provided.
   bool SeedNode(int vertex,
                 const std::vector<const PhrasePredicate*>& predicates,
-                NodeState* state, MatchCache* match_cache) const;
+                NodeState* state, MatchCache* match_cache,
+                TraceContext* trace) const;
 
   /// Reduces `parent` to the rows having at least one join partner in
   /// `child` via `edge` (a semijoin). Exactness relies on tree-shaped joins.
@@ -155,7 +160,7 @@ class Executor {
                    const std::vector<std::vector<const PhrasePredicate*>>&
                        preds_by_vertex,
                    bool* feasible, SubtreeMemo* memo,
-                   MatchCache* match_cache) const;
+                   MatchCache* match_cache, TraceContext* trace) const;
 
   DbView view_;
   const SchemaGraph& graph_;

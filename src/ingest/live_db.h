@@ -14,6 +14,8 @@
 
 namespace qbe {
 
+class TraceContext;
+
 /// One pinned epoch: an immutable base plus an immutable delta overlay.
 /// Copying a DbVersion is an RCU-style pin — the shared_ptrs keep both
 /// alive for as long as an in-flight discovery needs them, no matter how
@@ -102,6 +104,12 @@ class LiveDatabase {
   bool Compact(const std::string& snapshot_path, std::string* error,
                CompactionStats* stats = nullptr);
 
+  /// Arms (null = disarms) tracing of writer-side work: WAL append/sync,
+  /// WAL replay, and compaction record spans into `trace` (obs/trace.h).
+  /// Observation-only — published epochs and overlay contents are
+  /// unaffected. Not owned; must outlive the mutations it covers.
+  void set_trace(TraceContext* trace);
+
  private:
   bool ValidateAppend(const DbView& view, int rel,
                       const std::vector<Value>& values,
@@ -121,6 +129,7 @@ class LiveDatabase {
   // Op log since the last compaction; guarded by writer_mu_.
   std::vector<WalRecord> ops_;
   WalWriter wal_;
+  TraceContext* trace_ = nullptr;  // guarded by writer_mu_
 };
 
 /// Materializes the merged logical contents of `view` as a fresh standalone

@@ -1,0 +1,112 @@
+#include "obs/metrics_http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace qbe {
+
+MetricsHttpServer::MetricsHttpServer(uint16_t port, Handler handler)
+    : handler_(std::move(handler)) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    error_ = std::string("socket: ") + std::strerror(errno);
+    return;
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    error_ = std::string("bind 127.0.0.1:") + std::to_string(port) + ": " +
+             std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, 16) < 0 || ::pipe(stop_pipe_) < 0) {
+    error_ = std::string("listen: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return;
+  }
+  thread_ = std::thread([this] { Serve(); });
+}
+
+MetricsHttpServer::~MetricsHttpServer() { Stop(); }
+
+void MetricsHttpServer::Stop() {
+  if (thread_.joinable()) {
+    char byte = 'x';
+    [[maybe_unused]] ssize_t n = ::write(stop_pipe_[1], &byte, 1);
+    thread_.join();
+  }
+  for (int* fd : {&listen_fd_, &stop_pipe_[0], &stop_pipe_[1]}) {
+    if (*fd >= 0) {
+      ::close(*fd);
+      *fd = -1;
+    }
+  }
+}
+
+void MetricsHttpServer::Serve() {
+  for (;;) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {stop_pipe_[0], POLLIN, 0}};
+    if (::poll(fds, 2, -1) < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (fds[1].revents != 0) return;  // Stop() requested
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    // One short read covers any sane "GET /path HTTP/1.1" request line;
+    // this exporter never parses bodies or headers.
+    char buf[2048];
+    ssize_t n = ::read(client, buf, sizeof(buf) - 1);
+    std::string response;
+    if (n > 0) {
+      buf[n] = '\0';
+      std::string request(buf);
+      std::string path;
+      if (request.rfind("GET ", 0) == 0) {
+        size_t end = request.find(' ', 4);
+        if (end != std::string::npos) path = request.substr(4, end - 4);
+      }
+      std::string content_type = "text/plain; version=0.0.4";
+      std::string body =
+          path.empty() ? "" : handler_(path, &content_type);
+      if (body.empty()) {
+        response =
+            "HTTP/1.1 404 Not Found\r\nContent-Length: 10\r\n"
+            "Connection: close\r\n\r\nnot found\n";
+      } else {
+        response = "HTTP/1.1 200 OK\r\nContent-Type: " + content_type +
+                   "\r\nContent-Length: " + std::to_string(body.size()) +
+                   "\r\nConnection: close\r\n\r\n" + body;
+      }
+    }
+    size_t sent = 0;
+    while (sent < response.size()) {
+      ssize_t w = ::write(client, response.data() + sent,
+                          response.size() - sent);
+      if (w <= 0) break;
+      sent += static_cast<size_t>(w);
+    }
+    ::close(client);
+  }
+}
+
+}  // namespace qbe

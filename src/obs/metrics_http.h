@@ -1,0 +1,50 @@
+#ifndef QBE_OBS_METRICS_HTTP_H_
+#define QBE_OBS_METRICS_HTTP_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace qbe {
+
+/// Minimal loopback HTTP/1.1 exporter for `qbe_serve --metrics-port`: one
+/// accept thread, GET-only, no keep-alive — just enough for a Prometheus
+/// scraper or `curl 127.0.0.1:PORT/metrics`. Not a general web server and
+/// never bound to a non-loopback interface.
+class MetricsHttpServer {
+ public:
+  /// Called per request with the path (e.g. "/metrics"); returns the body
+  /// and sets `*content_type`. An empty return = 404.
+  using Handler =
+      std::function<std::string(const std::string& path,
+                                std::string* content_type)>;
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral; see port()) and starts the
+  /// accept thread. On failure ok() is false and error() says why.
+  MetricsHttpServer(uint16_t port, Handler handler);
+  ~MetricsHttpServer();
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+  uint16_t port() const { return port_; }
+
+  /// Stops accepting and joins the thread. Idempotent.
+  void Stop();
+
+ private:
+  void Serve();
+
+  Handler handler_;
+  std::string error_;
+  uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  int stop_pipe_[2] = {-1, -1};  // written to wake the poll loop
+  std::thread thread_;
+};
+
+}  // namespace qbe
+
+#endif  // QBE_OBS_METRICS_HTTP_H_

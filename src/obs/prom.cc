@@ -1,0 +1,58 @@
+#include "obs/prom.h"
+
+#include <cstdio>
+
+namespace qbe {
+namespace {
+
+std::string Sanitize(const std::string& name) {
+  std::string out = "qbe_";
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string FormatDouble(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", value);
+  return buf;
+}
+
+}  // namespace
+
+std::string PrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    std::string prom = Sanitize(name);
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    std::string prom = Sanitize(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " " + FormatDouble(value) + "\n";
+  }
+  for (const MetricsSnapshot::HistogramData& hist : snapshot.histograms) {
+    std::string prom = Sanitize(hist.name);
+    out += "# TYPE " + prom + " histogram\n";
+    int64_t cumulative = 0;
+    for (size_t i = 0; i < hist.bounds.size(); ++i) {
+      cumulative += i < hist.buckets.size() ? hist.buckets[i] : 0;
+      out += prom + "_bucket{le=\"" + FormatDouble(hist.bounds[i]) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += prom + "_bucket{le=\"+Inf\"} " + std::to_string(hist.count) + "\n";
+    out += prom + "_sum " + FormatDouble(hist.sum) + "\n";
+    out += prom + "_count " + std::to_string(hist.count) + "\n";
+  }
+  return out;
+}
+
+std::string PrometheusText(const MetricsRegistry& registry) {
+  return PrometheusText(registry.Snapshot());
+}
+
+}  // namespace qbe

@@ -1,0 +1,21 @@
+#ifndef QBE_OBS_PROM_H_
+#define QBE_OBS_PROM_H_
+
+#include <string>
+
+#include "service/metrics.h"
+
+namespace qbe {
+
+/// Renders a metrics snapshot in the Prometheus text exposition format
+/// (v0.0.4): every metric prefixed `qbe_`, names sanitized to
+/// [a-zA-Z0-9_], histograms as cumulative `_bucket{le="..."}` series plus
+/// `_sum`/`_count`. Deterministic: same snapshot, same bytes (the golden
+/// check in tests/trace_test.cc). This is what `qbe_serve --metrics-port`
+/// serves at GET /metrics.
+std::string PrometheusText(const MetricsSnapshot& snapshot);
+std::string PrometheusText(const MetricsRegistry& registry);
+
+}  // namespace qbe
+
+#endif  // QBE_OBS_PROM_H_

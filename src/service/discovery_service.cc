@@ -1,7 +1,10 @@
 #include "service/discovery_service.h"
 
+#include <cstdio>
 #include <utility>
 
+#include "obs/prom.h"
+#include "obs/slow_log.h"
 #include "util/deadline.h"
 #include "util/stopwatch.h"
 
@@ -25,11 +28,6 @@ const char* ToString(RequestStatus status) {
 
 namespace {
 
-/// Latency buckets: 100 µs .. ~100 s.
-std::vector<double> LatencyBuckets() {
-  return ExponentialBuckets(1e-4, 2.0, 21);
-}
-
 /// Work buckets: 1 .. ~1M verifications per request.
 std::vector<double> WorkBuckets() { return ExponentialBuckets(1.0, 4.0, 11); }
 
@@ -37,6 +35,13 @@ std::vector<double> WorkBuckets() { return ExponentialBuckets(1.0, 4.0, 11); }
 std::vector<double> DepthBuckets() { return ExponentialBuckets(1.0, 2.0, 11); }
 
 }  // namespace
+
+std::vector<double> DiscoveryService::LatencyBounds() const {
+  // Default: 100 µs .. ~100 s; overridable per deployment.
+  return options_.latency_buckets.empty()
+             ? ExponentialBuckets(1e-4, 2.0, 21)
+             : options_.latency_buckets;
+}
 
 /// Everything a request carries through the pool: the input, its deadline
 /// token (armed at admission so queue time counts against the SLA), the
@@ -47,6 +52,10 @@ struct DiscoveryService::Request {
   bool has_deadline = false;
   Stopwatch since_admission;
   std::promise<ServiceResponse> promise;
+  /// Service-wide submission sequence number (the sampling input).
+  uint64_t seq = 0;
+  /// Armed iff this request was sampled for tracing.
+  std::unique_ptr<TraceContext> trace;
 
   explicit Request(ExampleTable table) : et(std::move(table)) {}
 };
@@ -57,6 +66,8 @@ DiscoveryService::DiscoveryService(Database db, ServiceOptions options)
       cache_(options_.cache_shards),
       pool_(std::make_unique<ThreadPool>(options_.num_workers,
                                          options_.max_queue_depth)) {
+  sampler_.rate = options_.trace_sample;
+  sampler_.seed = options_.trace_seed;
   if (options_.discovery.verify.threads > 1) {
     // One shared verification pool for all requests; each request's
     // ParallelFor rounds borrow whichever of these workers are idle. The
@@ -110,6 +121,15 @@ std::future<ServiceResponse> DiscoveryService::Submit(
     request->has_deadline = true;
   }
 
+  // The sampling decision is made here, at submission, from the sequence
+  // number alone — deterministic for a replayed workload no matter how the
+  // worker pool interleaves execution.
+  request->seq = request_seq_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.trace_sample > 0.0 && sampler_.Sample(request->seq)) {
+    request->trace = std::make_unique<TraceContext>();
+    request->trace->set_request_id(request->seq);
+  }
+
   bool admitted =
       pool_->TrySubmit([this, request] { Run(request); });
   if (!admitted) {
@@ -132,13 +152,20 @@ ServiceResponse DiscoveryService::Discover(
 
 void DiscoveryService::Run(const std::shared_ptr<Request>& request) {
   double queued = request->since_admission.ElapsedSeconds();
-  metrics_.GetHistogram("queue_seconds", LatencyBuckets()).Observe(queued);
+  metrics_.GetHistogram("queue_seconds", LatencyBounds()).Observe(queued);
   if (options_.on_request_start) options_.on_request_start();
 
   DiscoveryOptions options = options_.discovery;
   options.cache = &cache_;
   options.deadline = request->has_deadline ? &request->deadline : nullptr;
   options.verify_pool = verify_pool_.get();
+  TraceContext* trace = request->trace.get();
+  options.trace = trace;
+
+  // Root span: everything discovery records on this worker thread nests
+  // under it; verify-pool lanes attach via VerifyContext::trace_parent.
+  SpanRef request_span =
+      trace == nullptr ? kNullSpan : trace->OpenSpan(SpanKind::kRequest);
 
   // Pin the epoch current right now: the whole discovery reads this one
   // consistent base+delta snapshot, and the pin keeps it alive across any
@@ -147,6 +174,7 @@ void DiscoveryService::Run(const std::shared_ptr<Request>& request) {
   const DbVersion version = live_.Pin();
   DiscoveryResult result =
       DiscoverQueries(version.view(), request->et, options, version.epoch);
+  if (trace != nullptr) trace->CloseSpan(request_span);
 
   ServiceResponse response;
   response.queue_seconds = queued;
@@ -169,10 +197,75 @@ void DiscoveryService::Run(const std::shared_ptr<Request>& request) {
     metrics_.GetCounter("match_cache_lookups")
         .Increment(result.counters.match_cache_lookups);
   }
-  metrics_.GetHistogram("latency_seconds", LatencyBuckets())
+  metrics_.GetHistogram("latency_seconds", LatencyBounds())
       .Observe(response.latency_seconds);
+
+  bool traced = false;
+  Trace stitched;
+  if (trace != nullptr) {
+    stitched = trace->Stitch();
+    traced = true;
+    metrics_.GetCounter("requests_traced").Increment();
+    // Per-phase rollups: one latency histogram per span kind observed, so
+    // the exporter shows where sampled requests spend their time.
+    for (size_t k = 0; k < static_cast<size_t>(SpanKind::kNumKinds); ++k) {
+      const SpanKind kind = static_cast<SpanKind>(k);
+      const int64_t ns = stitched.PhaseNs(kind);
+      if (ns <= 0) continue;
+      metrics_
+          .GetHistogram(std::string("phase_seconds_") + SpanKindName(kind),
+                        LatencyBounds())
+          .Observe(static_cast<double>(ns) * 1e-9);
+    }
+    std::lock_guard<std::mutex> lock(traces_mu_);
+    recent_traces_.push_back(stitched);
+    while (recent_traces_.size() > options_.trace_keep) {
+      recent_traces_.pop_front();
+    }
+  }
+
+  if (options_.slow_query_ms >= 0.0 &&
+      response.latency_seconds * 1000.0 >= options_.slow_query_ms) {
+    SlowQueryRecord record;
+    record.request_id = request->seq;
+    record.status = ToString(response.status);
+    record.latency_seconds = response.latency_seconds;
+    record.queue_seconds = queued;
+    record.et_rows = request->et.num_rows();
+    record.et_cols = request->et.num_columns();
+    record.candidates = static_cast<int64_t>(result.num_candidates);
+    record.verifications = result.counters.verifications;
+    record.queries = static_cast<int64_t>(result.queries.size());
+    record.traced = traced;
+    if (traced) {
+      for (size_t k = 0; k < static_cast<size_t>(SpanKind::kNumKinds); ++k) {
+        const SpanKind kind = static_cast<SpanKind>(k);
+        const int64_t ns = stitched.PhaseNs(kind);
+        if (ns <= 0) continue;
+        record.phases.emplace_back(SpanKindName(kind),
+                                   static_cast<double>(ns) * 1e-9);
+      }
+    }
+    const std::string line = SlowQueryJson(record);
+    if (options_.slow_query_sink) {
+      options_.slow_query_sink(line);
+    } else {
+      std::fprintf(stderr, "%s\n", line.c_str());
+    }
+    metrics_.GetCounter("slow_queries_logged").Increment();
+  }
+
   response.result = std::move(result);
   request->promise.set_value(std::move(response));
+}
+
+std::vector<Trace> DiscoveryService::RecentTraces() const {
+  std::lock_guard<std::mutex> lock(traces_mu_);
+  return {recent_traces_.begin(), recent_traces_.end()};
+}
+
+std::string DiscoveryService::ChromeTraces() const {
+  return ChromeTraceJson(RecentTraces());
 }
 
 bool DiscoveryService::Append(int rel, std::vector<Value> values,
@@ -225,7 +318,7 @@ void DiscoveryService::RecordCompaction(const CompactionStats& stats) {
       .Increment(static_cast<int64_t>(stats.merged_appends));
   metrics_.GetCounter("compacted_tombstones")
       .Increment(static_cast<int64_t>(stats.merged_tombstones));
-  metrics_.GetHistogram("compaction_seconds", LatencyBuckets())
+  metrics_.GetHistogram("compaction_seconds", LatencyBounds())
       .Observe(stats.seconds);
 }
 
@@ -239,7 +332,7 @@ void DiscoveryService::Shutdown() {
   if (verify_pool_ != nullptr) verify_pool_->Shutdown();
 }
 
-std::string DiscoveryService::MetricsDump() {
+void DiscoveryService::RefreshGauges() {
   metrics_.SetGauge("eval_cache_size", static_cast<double>(cache_.size()));
   metrics_.SetGauge("eval_cache_hit_rate", cache_.HitRate());
   metrics_.SetGauge("eval_cache_lookups",
@@ -256,7 +349,16 @@ std::string DiscoveryService::MetricsDump() {
   metrics_.SetGauge("delta_tombstones",
                     static_cast<double>(live_.tombstones()));
   metrics_.SetGauge("wal_attached", live_.has_wal() ? 1.0 : 0.0);
+}
+
+std::string DiscoveryService::MetricsDump() {
+  RefreshGauges();
   return metrics_.Dump();
+}
+
+std::string DiscoveryService::PrometheusMetrics() {
+  RefreshGauges();
+  return PrometheusText(metrics_);
 }
 
 }  // namespace qbe

@@ -3,16 +3,19 @@
 
 #include <atomic>
 #include <chrono>
+#include <deque>
 #include <functional>
 #include <future>
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/discovery.h"
 #include "core/example_table.h"
 #include "ingest/compactor.h"
 #include "ingest/live_db.h"
+#include "obs/trace.h"
 #include "service/concurrent_eval_cache.h"
 #include "service/metrics.h"
 #include "storage/database.h"
@@ -81,6 +84,39 @@ struct ServiceOptions {
   /// Snapshot refresh target for compaction. Required (by
   /// LiveDatabase::Compact) whenever a WAL is attached.
   std::string compact_snapshot_path;
+
+  // --- observability (DESIGN.md §13) ---------------------------------------
+
+  /// Fraction of requests traced, in [0, 1]. 0 = tracing off (the default;
+  /// plain runs are bit-identical to an uninstrumented build). Sampling is
+  /// deterministic: request n — the service-wide submission sequence
+  /// number — is traced iff splitmix64(trace_seed, n) < rate·2^64, so a
+  /// replayed workload samples the same requests.
+  double trace_sample = 0.0;
+
+  /// Seed of the sampling decision (and of nothing else).
+  uint64_t trace_seed = 42;
+
+  /// Stitched traces of the most recent sampled requests kept in memory
+  /// for RecentTraces()/ChromeTraces() (ring buffer; oldest evicted).
+  size_t trace_keep = 16;
+
+  /// Structured slow-query log: a finished request whose end-to-end
+  /// latency is >= this many milliseconds emits one JSON line (see
+  /// obs/slow_log.h) through `slow_query_sink`. < 0 disables the log
+  /// (default); 0 logs every request (useful in tests).
+  double slow_query_ms = -1.0;
+
+  /// Receives slow-query JSON lines (one object per call, no trailing
+  /// newline). Default (unset): write to stderr. May be called from any
+  /// worker thread; the sink must be thread-safe.
+  std::function<void(const std::string&)> slow_query_sink;
+
+  /// Upper bounds (seconds, ascending) of every latency-shaped histogram
+  /// (queue_seconds, latency_seconds, compaction_seconds, phase_seconds_*).
+  /// Empty = the default 100 µs .. ~100 s exponential ladder. Injectable so
+  /// sub-millisecond deployments get resolution instead of one fat bucket.
+  std::vector<double> latency_buckets;
 };
 
 /// Concurrent discovery server: owns the live database (immutable base +
@@ -160,11 +196,25 @@ class DiscoveryService {
   /// the qbe_serve harness prints.
   std::string MetricsDump();
 
+  /// Prometheus text exposition of the same metrics (gauges refreshed);
+  /// what `qbe_serve --metrics-port` serves at GET /metrics.
+  std::string PrometheusMetrics();
+
+  /// Stitched traces of the most recent sampled requests, oldest first
+  /// (bounded by ServiceOptions::trace_keep).
+  std::vector<Trace> RecentTraces() const;
+
+  /// RecentTraces() rendered as Chrome trace-event JSON (GET /traces).
+  std::string ChromeTraces() const;
+
  private:
   struct Request;
 
   void Run(const std::shared_ptr<Request>& request);
   void RecordCompaction(const CompactionStats& stats);
+  void RefreshGauges();
+  /// Latency-histogram bounds: options_.latency_buckets or the default.
+  std::vector<double> LatencyBounds() const;
 
   LiveDatabase live_;
   ServiceOptions options_;
@@ -172,6 +222,10 @@ class DiscoveryService {
   ConcurrentEvalCache cache_;
   MetricsRegistry metrics_;
   std::atomic<bool> accepting_{true};
+  TraceSampler sampler_;
+  std::atomic<uint64_t> request_seq_{0};
+  mutable std::mutex traces_mu_;
+  std::deque<Trace> recent_traces_;  // newest at the back
   // Shared intra-request verification pool (null when
   // discovery.verify.threads <= 1). Declared before pool_ so it outlives
   // the request workers that submit to it.

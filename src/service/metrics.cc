@@ -94,6 +94,27 @@ void MetricsRegistry::SetGauge(const std::string& name, double value) {
   gauges_[name] = value;
 }
 
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.emplace_back(name, counter->Value());
+  }
+  for (const auto& [name, value] : gauges_) {
+    snapshot.gauges.emplace_back(name, value);
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    MetricsSnapshot::HistogramData data;
+    data.name = name;
+    data.bounds = histogram->bounds();
+    data.buckets = histogram->BucketCounts();
+    data.count = histogram->TotalCount();
+    data.sum = histogram->Sum();
+    snapshot.histograms.push_back(std::move(data));
+  }
+  return snapshot;
+}
+
 std::string MetricsRegistry::Dump() const {
   std::lock_guard<std::mutex> lock(mu_);
   // The three maps are iterated separately but each is name-sorted; merge

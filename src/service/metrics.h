@@ -65,6 +65,23 @@ class Histogram {
 std::vector<double> ExponentialBuckets(double start, double factor,
                                        int count);
 
+/// Point-in-time copy of a registry's contents, for exporters (the
+/// Prometheus text formatter in obs/prom.h) and tests. Values are read
+/// relaxed — consistent enough for monitoring, never torn.
+struct MetricsSnapshot {
+  struct HistogramData {
+    std::string name;
+    std::vector<double> bounds;
+    std::vector<int64_t> buckets;  // bounds.size() + 1 (overflow last)
+    int64_t count = 0;
+    double sum = 0.0;
+  };
+
+  std::vector<std::pair<std::string, int64_t>> counters;  // name-sorted
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramData> histograms;
+};
+
 /// Registry of named counters and histograms. Get* creates the metric on
 /// first use and returns a reference that stays valid for the registry's
 /// lifetime, so callers resolve each metric once and update it lock-free;
@@ -80,6 +97,8 @@ class MetricsRegistry {
                           std::vector<double> upper_bounds);
 
   void SetGauge(const std::string& name, double value);
+
+  MetricsSnapshot Snapshot() const;
 
   /// One metric per line, sorted by name:
   ///   counter  requests_admitted 128

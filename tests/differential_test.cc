@@ -16,11 +16,19 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
 #include "core/candidate_gen.h"
 #include "core/discovery.h"
 #include "core/filter_verifier.h"
 #include "core/simple_prune.h"
 #include "core/verify_all.h"
+#include "core/weave.h"
 #include "datagen/et_gen.h"
 #include "datagen/retailer.h"
 #include "exec/executor.h"
@@ -159,6 +167,124 @@ TEST_P(DifferentialTest, ParallelEngineIsBitIdenticalAcrossThreadCounts) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,
                          ::testing::Range<uint64_t>(1, 21));
+
+// Part 3: verification-count regression harness. The serial per-algorithm
+// verification counts over all 200 seeded instances are snapshotted into
+// tests/golden/verify_counts.json (key "sNN.eNN.algo"); any drift fails.
+// Counts are the paper's cost currency (Table 4, Figure 9): a pruning or
+// filter-scheduling regression shows up here even when the valid sets —
+// which parts 1 and 2 pin — still agree. Regenerate intentionally with
+//   QBE_UPDATE_GOLDEN=1 ctest -R differential_test
+
+using CountMap = std::map<std::string, int64_t>;
+
+std::string InstanceKey(uint64_t seed, int et, const char* algo) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "s%02llu.e%02d.%s",
+                static_cast<unsigned long long>(seed), et, algo);
+  return buf;
+}
+
+CountMap CollectVerifyCounts() {
+  CountMap counts;
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    Workbench wb(seed);
+    int e = 0;
+    for (const ExampleTable& et : RandomEts(wb, seed + 1000)) {
+      std::vector<CandidateQuery> cands =
+          GenerateCandidates(wb.db, wb.graph, et, {});
+      ++e;
+      if (cands.empty()) continue;
+      VerifyAll verify_all(RowOrder::kDenseFirst);
+      SimplePrune simple_prune(RowOrder::kDenseFirst);
+      FilterVerifier filter_lazy(0.1, true);
+      FilterVerifier filter_exact(0.1, false);
+      JoinTreeWeave weave;
+      std::pair<const char*, CandidateVerifier*> algos[] = {
+          {"verifyall", &verify_all},   {"simpleprune", &simple_prune},
+          {"filter", &filter_lazy},     {"filterexact", &filter_exact},
+          {"weave", &weave}};
+      for (auto [name, algo] : algos) {
+        auto [valid, verifs] =
+            RunEngine(wb, et, cands, *algo, Engine(1), seed);
+        (void)valid;
+        counts[InstanceKey(seed, e - 1, name)] = verifs;
+      }
+    }
+  }
+  return counts;
+}
+
+std::string GoldenPath() {
+  return std::string(QBE_GOLDEN_DIR) + "/verify_counts.json";
+}
+
+void WriteGolden(const CountMap& counts) {
+  std::ofstream out(GoldenPath());
+  ASSERT_TRUE(out.is_open()) << "cannot write " << GoldenPath();
+  out << "{\n";
+  size_t i = 0;
+  for (const auto& [key, value] : counts) {
+    out << "  \"" << key << "\": " << value
+        << (++i == counts.size() ? "\n" : ",\n");
+  }
+  out << "}\n";
+}
+
+/// Parses the flat {"key": int, ...} golden file; false on read failure.
+bool ReadGolden(CountMap* counts) {
+  std::ifstream in(GoldenPath());
+  if (!in.is_open()) return false;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  size_t pos = 0;
+  while ((pos = text.find('"', pos)) != std::string::npos) {
+    size_t end = text.find('"', pos + 1);
+    if (end == std::string::npos) return false;
+    std::string key = text.substr(pos + 1, end - pos - 1);
+    size_t colon = text.find(':', end);
+    if (colon == std::string::npos) return false;
+    (*counts)[key] = std::strtoll(text.c_str() + colon + 1, nullptr, 10);
+    pos = end + 1;
+  }
+  return !counts->empty();
+}
+
+TEST(VerifyCountGoldenTest, CountsMatchGoldenSnapshot) {
+  CountMap counts = CollectVerifyCounts();
+  ASSERT_FALSE(counts.empty());
+
+  if (std::getenv("QBE_UPDATE_GOLDEN") != nullptr) {
+    WriteGolden(counts);
+    GTEST_LOG_(INFO) << "wrote " << counts.size() << " counts to "
+                     << GoldenPath();
+    return;
+  }
+
+  CountMap golden;
+  ASSERT_TRUE(ReadGolden(&golden))
+      << GoldenPath() << " missing or unreadable; regenerate with "
+      << "QBE_UPDATE_GOLDEN=1";
+
+  // Compare both directions with per-key messages: a bare map EXPECT_EQ
+  // would drown the signal in one giant diff.
+  for (const auto& [key, value] : golden) {
+    auto it = counts.find(key);
+    if (it == counts.end()) {
+      ADD_FAILURE() << "instance " << key
+                    << " missing from this run (golden has " << value << ")";
+    } else {
+      EXPECT_EQ(it->second, value)
+          << "verification count drift on " << key;
+    }
+  }
+  for (const auto& [key, value] : counts) {
+    EXPECT_TRUE(golden.count(key))
+        << "new instance " << key << " (" << value
+        << " verifications) absent from golden; regenerate if intended";
+  }
+}
 
 // End-to-end determinism: DiscoverQueries with the parallel engine returns
 // the same ranked queries (SQL and order) as the serial engine.

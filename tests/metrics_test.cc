@@ -59,6 +59,21 @@ TEST(HistogramTest, ConcurrentObservationsAreExact) {
   EXPECT_EQ(histogram.TotalCount(), 40000);
 }
 
+TEST(HistogramTest, InjectedSubMillisecondBucketsResolveFastRequests) {
+  // The old service default started at 100 µs, flattening anything faster
+  // into one bucket; latency bounds are injectable precisely so a cached
+  // in-memory workload can see sub-millisecond structure.
+  Histogram histogram(ExponentialBuckets(1e-6, 10.0, 6));  // 1 µs … 100 ms
+  for (int i = 0; i < 90; ++i) histogram.Observe(5e-6);   // ~5 µs: cached
+  for (int i = 0; i < 10; ++i) histogram.Observe(5e-4);   // ~500 µs: miss
+  std::vector<int64_t> counts = histogram.BucketCounts();
+  ASSERT_EQ(counts.size(), 7u);
+  EXPECT_EQ(counts[1], 90);  // <= 10 µs
+  EXPECT_EQ(counts[3], 10);  // <= 1 ms
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.5), 1e-5);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.95), 1e-3);
+}
+
 TEST(ExponentialBucketsTest, GeometricSeries) {
   std::vector<double> bounds = ExponentialBuckets(1.0, 10.0, 4);
   ASSERT_EQ(bounds.size(), 4u);

@@ -23,6 +23,7 @@
 #include "exec/executor.h"
 #include "schema/schema_graph.h"
 #include "service/concurrent_eval_cache.h"
+#include "service/serve_args.h"
 
 namespace qbe {
 namespace {
@@ -318,6 +319,86 @@ TEST(ServiceTest, SessionsShareServiceCache) {
   // And the answers match a cacheless batch run.
   DiscoveryResult batch = DiscoverQueries(db, MakeFigure2ExampleTable());
   EXPECT_EQ(SqlList(from_second), SqlList(batch));
+}
+
+// ---------------------------------------------------------------------------
+// qbe_serve command-line parsing (service/serve_args.h). The parser is
+// strict: unknown flags, missing values, and out-of-range values fail
+// naming the flag instead of being silently ignored.
+
+ServeArgs Parse(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "qbe_serve");
+  return ParseServeArgs(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ServeArgsTest, ParsesAFullCommandLine) {
+  ServeArgs args = Parse({"--dataset", "imdb", "--scale", "0.5",
+                          "--clients", "2", "--workers", "3",
+                          "--algorithm", "weave", "--metrics-port", "0",
+                          "--trace-sample", "0.25", "--slow-query-ms", "10",
+                          "--trace-out", "/tmp/t.json"});
+  ASSERT_TRUE(args.ok()) << args.error;
+  EXPECT_EQ(args.dataset, "imdb");
+  EXPECT_DOUBLE_EQ(args.scale, 0.5);
+  EXPECT_EQ(args.clients, 2);
+  EXPECT_EQ(args.workers, 3);
+  EXPECT_EQ(args.algorithm, "weave");
+  EXPECT_EQ(args.metrics_port, 0);
+  EXPECT_DOUBLE_EQ(args.trace_sample, 0.25);
+  EXPECT_DOUBLE_EQ(args.slow_query_ms, 10.0);
+  EXPECT_EQ(args.trace_out, "/tmp/t.json");
+  EXPECT_FALSE(args.show_usage);
+}
+
+TEST(ServeArgsTest, RejectsUnknownFlagNamingIt) {
+  ServeArgs args = Parse({"--clients", "2", "--bogus-flag", "--workers", "3"});
+  EXPECT_FALSE(args.ok());
+  EXPECT_EQ(args.error, "unknown flag --bogus-flag");
+}
+
+TEST(ServeArgsTest, RejectsMissingValue) {
+  ServeArgs args = Parse({"--clients"});
+  EXPECT_FALSE(args.ok());
+  EXPECT_EQ(args.error, "missing value for --clients");
+}
+
+TEST(ServeArgsTest, RejectsOutOfRangeAndMalformedValues) {
+  EXPECT_EQ(Parse({"--trace-sample", "1.5"}).error,
+            "bad value for --trace-sample: 1.5");
+  EXPECT_EQ(Parse({"--clients", "0"}).error, "bad value for --clients: 0");
+  EXPECT_EQ(Parse({"--workers", "4x"}).error, "bad value for --workers: 4x");
+  EXPECT_EQ(Parse({"--metrics-port", "70000"}).error,
+            "bad value for --metrics-port: 70000");
+  EXPECT_EQ(Parse({"--timeout-ms", "-2"}).error,
+            "bad value for --timeout-ms: -2");
+  // -1 stays accepted: an already-expired deadline drives the timeout path.
+  EXPECT_TRUE(Parse({"--timeout-ms", "-1"}).ok());
+}
+
+TEST(ServeArgsTest, RejectsUnknownDatasetAndAlgorithm) {
+  EXPECT_EQ(Parse({"--dataset", "tpch"}).error, "unknown dataset tpch");
+  EXPECT_EQ(Parse({"--algorithm", "magic"}).error, "unknown algorithm magic");
+}
+
+TEST(ServeArgsTest, HelpSetsShowUsage) {
+  EXPECT_TRUE(Parse({"--help"}).show_usage);
+  EXPECT_TRUE(Parse({"-h"}).show_usage);
+  EXPECT_FALSE(ServeUsage().empty());
+}
+
+TEST(ServiceTest, InjectedLatencyBucketsShapeTheHistograms) {
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.latency_buckets = {1e-6, 1e-5, 1e-4, 1e-3, 1.0};
+  DiscoveryService service(MakeRetailerDatabase(), options);
+  ASSERT_EQ(service.Discover(MakeFigure2ExampleTable()).status,
+            RequestStatus::kOk);
+  // The empty-bounds lookup returns the already-registered histogram; its
+  // layout must be the injected one, not the 100µs-start default.
+  Histogram& latency = service.metrics().GetHistogram("latency_seconds", {});
+  ASSERT_EQ(latency.bounds().size(), 5u);
+  EXPECT_DOUBLE_EQ(latency.bounds()[0], 1e-6);
+  EXPECT_EQ(latency.TotalCount(), 1);
 }
 
 }  // namespace

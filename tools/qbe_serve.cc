@@ -8,6 +8,11 @@
 //             [--clients N] [--workers N] [--queue-depth N]
 //             [--append-mix P] [--compact-after N] [--compact-snapshot FILE]
 //             [--timeout-ms T] [--algorithm verifyall|simpleprune|filter|weave]
+//             [--metrics-port P] [--trace-sample F] [--slow-query-ms T]
+//             [--trace-out FILE.json]
+//
+// Flags are strict: an unknown flag or a missing/out-of-range value is
+// rejected with a message naming it (see service/serve_args.h).
 //
 // With --snapshot, the database is mmap'd from a `.qbes` snapshot written
 // by `qbe_snapshot build` (zero-copy cold start) instead of being generated;
@@ -20,6 +25,13 @@
 // in-flight discoveries keep their pinned epoch while writers proceed;
 // --compact-after N folds the overlay into a fresh base (and refreshes
 // --compact-snapshot, default WAL path + ".qbes") every N logged ops.
+//
+// Observability (DESIGN.md §13): --trace-sample F traces that fraction of
+// requests (deterministic sampling); --metrics-port P serves GET /metrics
+// (Prometheus text) and GET /traces (Chrome trace JSON) on loopback for
+// the run's duration; --slow-query-ms T logs one JSON line per request
+// slower than T ms; --trace-out FILE writes the retained traces as Chrome
+// trace JSON at exit (load in chrome://tracing or Perfetto).
 //
 // Request file format: one request per line; rows separated by ';', cells
 // by '|' (same cell syntax as qbe_cli --row). Example line for Figure 2:
@@ -43,34 +55,14 @@
 #include "datagen/imdb_like.h"
 #include "datagen/retailer.h"
 #include "exec/executor.h"
+#include "obs/metrics_http.h"
 #include "schema/schema_graph.h"
 #include "service/discovery_service.h"
+#include "service/serve_args.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
 
 namespace {
-
-void PrintUsage() {
-  std::fprintf(
-      stderr,
-      "usage: qbe_serve [--dataset retailer|imdb] [--scale S]\n"
-      "                 [--snapshot FILE.qbes] [--wal FILE.qbel]\n"
-      "                 [--requests FILE] [--repeat R]\n"
-      "                 [--clients N] [--workers N] [--queue-depth N]\n"
-      "                 [--append-mix P] [--compact-after N]\n"
-      "                 [--compact-snapshot FILE.qbes]\n"
-      "                 [--timeout-ms T] [--verify-threads N]\n"
-      "                 [--algorithm verifyall|simpleprune|filter|weave]\n");
-}
-
-std::optional<qbe::Algorithm> ParseAlgorithm(const std::string& name) {
-  if (name == "verifyall") return qbe::Algorithm::kVerifyAll;
-  if (name == "simpleprune") return qbe::Algorithm::kSimplePrune;
-  if (name == "filter") return qbe::Algorithm::kFilter;
-  if (name == "filterexact") return qbe::Algorithm::kFilterExact;
-  if (name == "weave") return qbe::Algorithm::kWeave;
-  return std::nullopt;
-}
 
 /// "Mike|ThinkPad|Office;Mary|iPad|" -> ExampleTable; nullopt on a ragged
 /// or empty line.
@@ -123,119 +115,69 @@ std::vector<qbe::ExampleTable> BuiltinImdbWorkload(const qbe::Database& db) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string dataset = "retailer";
-  std::string snapshot_path;
-  std::string requests_file;
-  double scale = 0.1;
-  int repeat = 4;
-  int clients = 8;
-  int append_mix = 0;  // percent of client ops that are row appends
-  qbe::ServiceOptions service_options;
-  long long timeout_ms = 0;
-
-  for (int i = 1; i < argc; ++i) {
-    std::string arg = argv[i];
-    auto next = [&]() -> const char* {
-      return i + 1 < argc ? argv[++i] : nullptr;
-    };
-    if (arg == "--dataset") {
-      if (const char* v = next()) dataset = v;
-    } else if (arg == "--scale") {
-      if (const char* v = next()) scale = std::atof(v);
-    } else if (arg == "--snapshot") {
-      if (const char* v = next()) snapshot_path = v;
-    } else if (arg == "--requests") {
-      if (const char* v = next()) requests_file = v;
-    } else if (arg == "--repeat") {
-      if (const char* v = next()) repeat = std::atoi(v);
-    } else if (arg == "--clients") {
-      if (const char* v = next()) clients = std::atoi(v);
-    } else if (arg == "--workers") {
-      if (const char* v = next()) service_options.num_workers = std::atoi(v);
-    } else if (arg == "--queue-depth") {
-      if (const char* v = next()) {
-        service_options.max_queue_depth =
-            static_cast<size_t>(std::atoll(v));
-      }
-    } else if (arg == "--timeout-ms") {
-      if (const char* v = next()) timeout_ms = std::atoll(v);
-    } else if (arg == "--wal") {
-      if (const char* v = next()) service_options.wal_path = v;
-    } else if (arg == "--append-mix") {
-      if (const char* v = next()) append_mix = std::atoi(v);
-    } else if (arg == "--compact-after") {
-      if (const char* v = next()) {
-        service_options.compact_after_ops = static_cast<size_t>(std::atoll(v));
-      }
-    } else if (arg == "--compact-snapshot") {
-      if (const char* v = next()) service_options.compact_snapshot_path = v;
-    } else if (arg == "--verify-threads") {
-      // Parallel batched verification engine (DESIGN.md §9): the service
-      // fans each request's CQ-row checks over a shared verify pool.
-      if (const char* v = next()) {
-        service_options.discovery.verify.threads = std::atoi(v);
-      }
-    } else if (arg == "--algorithm") {
-      const char* v = next();
-      std::optional<qbe::Algorithm> algo =
-          v ? ParseAlgorithm(v) : std::nullopt;
-      if (!algo.has_value()) {
-        std::fprintf(stderr, "unknown algorithm\n");
-        return 2;
-      }
-      service_options.discovery.algorithm = *algo;
-    } else {
-      PrintUsage();
-      return 2;
-    }
+  qbe::ServeArgs args = qbe::ParseServeArgs(argc, argv);
+  if (args.show_usage) {
+    std::printf("%s", qbe::ServeUsage().c_str());
+    return 0;
   }
-  if (clients <= 0 || repeat <= 0 || append_mix < 0 || append_mix > 100) {
-    PrintUsage();
+  if (!args.ok()) {
+    std::fprintf(stderr, "qbe_serve: %s\n%s", args.error.c_str(),
+                 qbe::ServeUsage().c_str());
     return 2;
   }
-  service_options.default_timeout = std::chrono::milliseconds(timeout_ms);
+
+  qbe::ServiceOptions service_options;
+  service_options.num_workers = args.workers;
+  service_options.max_queue_depth = args.queue_depth;
+  service_options.default_timeout = std::chrono::milliseconds(args.timeout_ms);
+  service_options.wal_path = args.wal_path;
+  service_options.compact_after_ops = args.compact_after;
+  service_options.compact_snapshot_path = args.compact_snapshot;
+  service_options.discovery.verify.threads = args.verify_threads;
+  service_options.discovery.algorithm =
+      *qbe::ParseAlgorithmName(args.algorithm);
+  service_options.trace_sample = args.trace_sample;
+  service_options.slow_query_ms = args.slow_query_ms;
   if (!service_options.wal_path.empty() &&
       service_options.compact_snapshot_path.empty()) {
     // A WAL-armed compaction must persist the merged state somewhere.
     service_options.compact_snapshot_path = service_options.wal_path + ".qbes";
   }
 
-  if (dataset != "retailer" && dataset != "imdb") {
-    std::fprintf(stderr, "unknown dataset %s\n", dataset.c_str());
-    return 2;
-  }
   bool from_snapshot = false;
   std::optional<qbe::Database> opened;
-  if (!snapshot_path.empty()) {
+  if (!args.snapshot_path.empty()) {
     qbe::Stopwatch open_timer;
     std::string snapshot_error;
-    opened = qbe::Database::OpenSnapshot(snapshot_path, &snapshot_error);
+    opened = qbe::Database::OpenSnapshot(args.snapshot_path, &snapshot_error);
     if (opened.has_value()) {
       from_snapshot = true;
       std::printf("opened snapshot %s in %.3fs (%.1f MB mapped)\n",
-                  snapshot_path.c_str(), open_timer.ElapsedSeconds(),
+                  args.snapshot_path.c_str(), open_timer.ElapsedSeconds(),
                   static_cast<double>(opened->MappedBytes()) / 1e6);
     } else {
       std::fprintf(stderr,
                    "warning: cannot start from snapshot: %s\n"
                    "warning: falling back to generating dataset %s\n",
-                   snapshot_error.c_str(), dataset.c_str());
+                   snapshot_error.c_str(), args.dataset.c_str());
     }
   }
-  qbe::Database db = opened.has_value()
-                         ? std::move(*opened)
-                         : (dataset == "retailer"
-                                ? qbe::MakeRetailerDatabase()
-                                : qbe::MakeImdbLikeDatabase({scale, 20140622}));
+  qbe::Database db =
+      opened.has_value()
+          ? std::move(*opened)
+          : (args.dataset == "retailer"
+                 ? qbe::MakeRetailerDatabase()
+                 : qbe::MakeImdbLikeDatabase({args.scale, 20140622}));
   std::printf("dataset=%s: %d relations, %zu foreign keys\n",
-              from_snapshot ? snapshot_path.c_str() : dataset.c_str(),
+              from_snapshot ? args.snapshot_path.c_str()
+                            : args.dataset.c_str(),
               db.num_relations(), db.foreign_keys().size());
 
   std::vector<qbe::ExampleTable> requests;
-  if (!requests_file.empty()) {
-    std::ifstream in(requests_file);
+  if (!args.requests_file.empty()) {
+    std::ifstream in(args.requests_file);
     if (!in) {
-      std::fprintf(stderr, "failed to read %s\n", requests_file.c_str());
+      std::fprintf(stderr, "failed to read %s\n", args.requests_file.c_str());
       return 1;
     }
     std::string line;
@@ -248,7 +190,7 @@ int main(int argc, char** argv) {
       }
       requests.push_back(std::move(*et));
     }
-  } else if (dataset == "retailer" && !from_snapshot) {
+  } else if (args.dataset == "retailer" && !from_snapshot) {
     requests = BuiltinRetailerWorkload();
   } else {
     // Snapshots can hold any dataset; sample ETs from the actual contents.
@@ -276,6 +218,31 @@ int main(int argc, char** argv) {
                  service.wal_error().c_str());
   }
 
+  std::unique_ptr<qbe::MetricsHttpServer> http;
+  if (args.metrics_port >= 0) {
+    http = std::make_unique<qbe::MetricsHttpServer>(
+        static_cast<uint16_t>(args.metrics_port),
+        [&service](const std::string& path,
+                   std::string* content_type) -> std::string {
+          if (path == "/metrics") {
+            *content_type = "text/plain; version=0.0.4";
+            return service.PrometheusMetrics();
+          }
+          if (path == "/traces") {
+            *content_type = "application/json";
+            return service.ChromeTraces();
+          }
+          return {};  // 404
+        });
+    if (http->ok()) {
+      std::printf("metrics on http://127.0.0.1:%u/metrics (and /traces)\n",
+                  http->port());
+    } else {
+      std::fprintf(stderr, "warning: metrics endpoint not started: %s\n",
+                   http->error().c_str());
+    }
+  }
+
   // Each client replays the whole request list `repeat` times, offset by
   // its id so clients hit different requests at the same instant. With
   // --append-mix P, every 100 operations P of them are row appends
@@ -284,12 +251,12 @@ int main(int argc, char** argv) {
   std::vector<std::thread> client_threads;
   std::atomic<long long> ok{0}, rejected{0}, timed_out{0}, other{0};
   std::atomic<long long> appended{0}, append_failed{0};
-  for (int c = 0; c < clients; ++c) {
+  for (int c = 0; c < args.clients; ++c) {
     client_threads.emplace_back([&, c] {
       long long op = 0;
-      for (int r = 0; r < repeat; ++r) {
+      for (int r = 0; r < args.repeat; ++r) {
         for (size_t q = 0; q < requests.size(); ++q, ++op) {
-          if (append_mix > 0 && op % 100 < append_mix) {
+          if (args.append_mix > 0 && op % 100 < args.append_mix) {
             int rel = static_cast<int>(op % append_schema.size());
             long long uniq = 1'000'000'000LL +
                              static_cast<long long>(c) * 10'000'000LL + op;
@@ -337,17 +304,28 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "warning: WAL flush failed: %s\n",
                  flush_error.c_str());
   }
+  if (http != nullptr) http->Stop();
+  if (!args.trace_out.empty()) {
+    std::ofstream out(args.trace_out);
+    if (out) {
+      out << service.ChromeTraces();
+      std::printf("wrote %zu traces to %s\n", service.RecentTraces().size(),
+                  args.trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", args.trace_out.c_str());
+    }
+  }
   service.Shutdown();
 
   long long total = ok + rejected + timed_out + other;
   std::printf(
       "replayed %lld requests from %d clients in %.3fs (%.1f req/s): "
       "%lld ok, %lld rejected, %lld timed out, %lld other\n",
-      total, clients, seconds,
+      total, args.clients, seconds,
       seconds > 0 ? static_cast<double>(total) / seconds : 0.0,
       static_cast<long long>(ok), static_cast<long long>(rejected),
       static_cast<long long>(timed_out), static_cast<long long>(other));
-  if (append_mix > 0) {
+  if (args.append_mix > 0) {
     std::printf("appended %lld rows (%lld rejected), final epoch %llu, "
                 "%zu overlay rows\n",
                 static_cast<long long>(appended),
