@@ -7,12 +7,18 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <random>
+#include <string>
+#include <vector>
+
 #include "core/candidate_gen.h"
 #include "core/filter_universe.h"
 #include "datagen/imdb_like.h"
 #include "datagen/retailer.h"
 #include "exec/executor.h"
 #include "exec/match_cache.h"
+#include "kernels/kernels.h"
 #include "schema/subtree_enum.h"
 #include "text/tokenizer.h"
 
@@ -211,6 +217,144 @@ void BM_RetailerDiscoveryEndToEnd(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RetailerDiscoveryEndToEnd);
+
+// ---------------------------------------------------------------------------
+// SIMD kernel layer A/B (DESIGN.md §14): each kernel registered once per
+// dispatch level this CPU supports, named BM_Kernel*<level>, so one
+// google-benchmark run carries the scalar-vs-SSE-vs-AVX2 comparison.
+// Levels are forced in-process (the QBE_KERNEL equivalents); every
+// benchmark restores the previous level on exit.
+
+std::vector<uint32_t> SortedUnique32(uint64_t seed, size_t n,
+                                     uint32_t universe) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<uint32_t> dist(0, universe);
+  std::vector<uint32_t> v(n);
+  for (auto& x : v) x = dist(rng);
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+class ScopedLevel {
+ public:
+  explicit ScopedLevel(KernelLevel level) : prev_(ActiveKernelLevel()) {
+    ForceKernelLevel(level);
+  }
+  ~ScopedLevel() { ForceKernelLevel(prev_); }
+
+ private:
+  KernelLevel prev_;
+};
+
+void BM_KernelIntersectDense(benchmark::State& state, KernelLevel level) {
+  ScopedLevel scoped(level);
+  // 4k x 4k, ~25% overlap: the dense CSR-posting / row-set shape. Raw
+  // kernel into a preallocated buffer — wrapper overhead is identical
+  // across levels and benched separately via BM_KernelIntersectWrapped.
+  std::vector<uint32_t> a = SortedUnique32(1, 4096, 16384);
+  std::vector<uint32_t> b = SortedUnique32(2, 4096, 16384);
+  std::vector<uint32_t> out(std::min(a.size(), b.size()) + kIntersectPad32);
+  const KernelOps& ops = ActiveKernelOps();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops.intersect_u32(a.data(), a.size(), b.data(),
+                                               b.size(), out.data()));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(a.size() + b.size()));
+}
+
+void BM_KernelIntersectWrapped(benchmark::State& state, KernelLevel level) {
+  ScopedLevel scoped(level);
+  // Same shape through the product-facing wrapper (gallop check + resize).
+  std::vector<uint32_t> a = SortedUnique32(1, 4096, 16384);
+  std::vector<uint32_t> b = SortedUnique32(2, 4096, 16384);
+  std::vector<uint32_t> out;
+  for (auto _ : state) {
+    kernels::IntersectSortedInto(a, b, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(a.size() + b.size()));
+}
+
+void BM_KernelIntersectSkewed(benchmark::State& state, KernelLevel level) {
+  ScopedLevel scoped(level);
+  // 64 x 16k: past the 16x threshold, so this times the gallop path (same
+  // at every level — the A/B shows the hybrid never regresses skew).
+  std::vector<uint32_t> small = SortedUnique32(3, 64, 1u << 20);
+  std::vector<uint32_t> large = SortedUnique32(4, 16384, 1u << 20);
+  std::vector<uint32_t> out;
+  for (auto _ : state) {
+    kernels::IntersectSortedInto(small, large, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+
+void BM_KernelPhraseShift(benchmark::State& state, KernelLevel level) {
+  ScopedLevel scoped(level);
+  // Dense shifted-span merge, packed row<<32|pos as in the CSR index.
+  std::vector<uint64_t> cand, span;
+  for (uint32_t v : SortedUnique32(5, 2048, 1u << 16)) {
+    cand.push_back((uint64_t{v >> 4} << 32) | (v & 15));
+  }
+  for (uint32_t v : SortedUnique32(6, 4096, 1u << 16)) {
+    span.push_back((uint64_t{v >> 4} << 32) | (v & 15));
+  }
+  std::sort(cand.begin(), cand.end());
+  std::sort(span.begin(), span.end());
+  std::vector<uint64_t> acc, scratch;
+  for (auto _ : state) {
+    acc = cand;
+    kernels::IntersectShiftedInPlace(&acc, span, 1, &scratch);
+    benchmark::DoNotOptimize(acc.data());
+  }
+}
+
+void BM_KernelBitmapSemijoin(benchmark::State& state, KernelLevel level) {
+  ScopedLevel scoped(level);
+  // The executor's semijoin bitmap cycle: clear, batch-set, AND, emit.
+  std::vector<uint32_t> rows = SortedUnique32(7, 8192, 65535);
+  std::vector<uint32_t> mask_rows = SortedUnique32(8, 8192, 65535);
+  std::vector<uint64_t> bits, mask;
+  kernels::BitmapClear(&mask, 65536);
+  kernels::BitmapSetBatch(&mask, mask_rows);
+  std::vector<uint32_t> emitted;
+  for (auto _ : state) {
+    kernels::BitmapClear(&bits, 65536);
+    kernels::BitmapSetBatch(&bits, rows);
+    kernels::BitmapAnd(&bits, mask);
+    kernels::BitmapEmitInto(bits, &emitted);
+    benchmark::DoNotOptimize(emitted.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 65536);
+}
+
+/// Registers the per-level kernel benchmarks for every supported level.
+/// Static-init registration, same as the BENCHMARK macros above.
+int RegisterKernelBenches() {
+  for (KernelLevel level :
+       {KernelLevel::kScalar, KernelLevel::kSse, KernelLevel::kAvx2}) {
+    if (!KernelLevelSupported(level)) continue;
+    const std::string suffix = std::string("<") + KernelLevelName(level) + ">";
+    benchmark::RegisterBenchmark(
+        ("BM_KernelIntersectDense" + suffix).c_str(),
+        BM_KernelIntersectDense, level);
+    benchmark::RegisterBenchmark(
+        ("BM_KernelIntersectWrapped" + suffix).c_str(),
+        BM_KernelIntersectWrapped, level);
+    benchmark::RegisterBenchmark(
+        ("BM_KernelIntersectSkewed" + suffix).c_str(),
+        BM_KernelIntersectSkewed, level);
+    benchmark::RegisterBenchmark(("BM_KernelPhraseShift" + suffix).c_str(),
+                                 BM_KernelPhraseShift, level);
+    benchmark::RegisterBenchmark(("BM_KernelBitmapSemijoin" + suffix).c_str(),
+                                 BM_KernelBitmapSemijoin, level);
+  }
+  return 0;
+}
+
+const int kKernelBenchesRegistered = RegisterKernelBenches();
 
 }  // namespace
 }  // namespace qbe

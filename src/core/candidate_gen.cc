@@ -3,34 +3,50 @@
 #include <algorithm>
 
 #include "ingest/db_view.h"
+#include "kernels/kernels.h"
 #include "schema/subtree_enum.h"
 #include "util/check.h"
 
 namespace qbe {
+namespace {
+
+/// Folds the per-row "columns containing this cell" gid lists of ET column
+/// `c` into their intersection — the candidate projection columns of
+/// Eq. 3. The one shared accumulator behind both the plain-Database and
+/// DbView retrieval paths; row lists come from `matches_for_row` (sorted
+/// ascending) and the intersection runs on the dispatched kernel layer
+/// (DESIGN.md §14).
+template <typename MatchesForRow>
+std::vector<int> IntersectColumnsOverRows(const ExampleTable& et, int c,
+                                          MatchesForRow&& matches_for_row) {
+  std::vector<int> gids;
+  std::vector<int> scratch;
+  bool first = true;
+  for (int r = 0; r < et.num_rows() && (first || !gids.empty()); ++r) {
+    if (et.cell(r, c).IsEmpty()) continue;
+    if (first) {
+      gids = matches_for_row(r);
+      first = false;
+    } else {
+      kernels::IntersectSortedInPlace(&gids, matches_for_row(r), &scratch);
+    }
+  }
+  // A well-formed ET has at least one non-empty cell per column, so
+  // `first` is false here (Definition 1 forbids empty columns).
+  QBE_CHECK_MSG(!first, "example table has an empty column");
+  return gids;
+}
+
+}  // namespace
 
 std::vector<std::vector<ColumnRef>> RetrieveCandidateColumns(
     const Database& db, const ExampleTable& et) {
   const ColumnIndex& ci = db.column_index();
   std::vector<std::vector<ColumnRef>> result(et.num_columns());
   for (int c = 0; c < et.num_columns(); ++c) {
-    std::vector<int> gids;
-    bool first = true;
-    for (int r = 0; r < et.num_rows() && (first || !gids.empty()); ++r) {
-      if (et.cell(r, c).IsEmpty()) continue;
-      std::vector<int> matches = ci.ColumnsContaining(et.CellTokens(r, c));
-      if (first) {
-        gids = std::move(matches);
-        first = false;
-      } else {
-        std::vector<int> merged;
-        std::set_intersection(gids.begin(), gids.end(), matches.begin(),
-                              matches.end(), std::back_inserter(merged));
-        gids = std::move(merged);
-      }
-    }
-    // A well-formed ET has at least one non-empty cell per column, so
-    // `first` is false here (Definition 1 forbids empty columns).
-    QBE_CHECK_MSG(!first, "example table has an empty column");
+    std::vector<int> gids = IntersectColumnsOverRows(et, c, [&](int r) {
+      return ci.ColumnsContaining(et.CellTokens(r, c));
+    });
     for (int gid : gids) result[c].push_back(db.TextColumnByGid(gid));
   }
   return result;
@@ -71,23 +87,12 @@ std::vector<std::vector<ColumnRef>> RetrieveCandidateColumns(
   std::vector<uint32_t> ids;
   std::vector<int> matches;
   for (int c = 0; c < et.num_columns(); ++c) {
-    std::vector<int> gids;
-    bool first = true;
-    for (int r = 0; r < et.num_rows() && (first || !gids.empty()); ++r) {
-      if (et.cell(r, c).IsEmpty()) continue;
-      view.IdsOfInto(et.CellTokens(r, c), &ids);
-      view.ColumnsContainingIdsInto(ids, &matches);
-      if (first) {
-        gids = matches;
-        first = false;
-      } else {
-        std::vector<int> merged;
-        std::set_intersection(gids.begin(), gids.end(), matches.begin(),
-                              matches.end(), std::back_inserter(merged));
-        gids = std::move(merged);
-      }
-    }
-    QBE_CHECK_MSG(!first, "example table has an empty column");
+    std::vector<int> gids =
+        IntersectColumnsOverRows(et, c, [&](int r) -> const std::vector<int>& {
+          view.IdsOfInto(et.CellTokens(r, c), &ids);
+          view.ColumnsContainingIdsInto(ids, &matches);
+          return matches;
+        });
     for (int gid : gids) result[c].push_back(view.TextColumnByGid(gid));
   }
   return result;

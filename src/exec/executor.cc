@@ -1,9 +1,9 @@
 #include "exec/executor.h"
 
 #include <algorithm>
-#include <bit>
 #include <unordered_set>
 
+#include "kernels/kernels.h"
 #include "obs/trace.h"
 #include "util/check.h"
 #include "util/intersect.h"
@@ -30,31 +30,13 @@ ExecScratch& Scratch() {
   return scratch;
 }
 
-void ClearBitmap(std::vector<uint64_t>* bits, size_t rows) {
-  bits->assign((rows + 63) / 64, 0);
-}
-
-void SetBit(std::vector<uint64_t>* bits, uint32_t row) {
-  (*bits)[row >> 6] |= uint64_t{1} << (row & 63);
-}
-
-bool TestBit(const std::vector<uint64_t>& bits, uint32_t row) {
-  return (bits[row >> 6] >> (row & 63)) & 1;
-}
-
-/// Emits the set rows of `bits` into `*out` in ascending order — the
-/// sorted-distinct row set without a sort, O(rows/64 + |set|).
-void EmitBitmap(const std::vector<uint64_t>& bits,
-                std::vector<uint32_t>* out) {
-  out->clear();
-  for (size_t w = 0; w < bits.size(); ++w) {
-    uint64_t word = bits[w];
-    while (word != 0) {
-      out->push_back(static_cast<uint32_t>(w * 64 + std::countr_zero(word)));
-      word &= word - 1;
-    }
-  }
-}
+// The semijoin bitmaps run on the dispatched kernel layer (DESIGN.md §14):
+// ClearBitmap/SetBit/TestBit are single-op inlines, EmitBitmap scans set
+// words with ctz (wide levels skip all-zero 256-bit blocks) instead of
+// testing bits one by one.
+using kernels::BitmapClear;
+using kernels::BitmapSet;
+using kernels::BitmapTest;
 
 }  // namespace
 
@@ -140,14 +122,14 @@ void Executor::Semijoin(NodeState* parent, int edge,
       // distinct child rows are disjoint (every FK row references exactly
       // one PK row), so a bitmap emits the union already sorted — no
       // sort+unique pass.
-      ClearBitmap(&scratch.bits, view_.TotalRows(fk.from_rel));
+      BitmapClear(&scratch.bits, view_.TotalRows(fk.from_rel));
       for (uint32_t child_row : child.rows) {
         for (uint32_t row :
              view_.ChildRowsOf(edge, child_row, &scratch.edge_rows)) {
-          SetBit(&scratch.bits, row);
+          BitmapSet(&scratch.bits, row);
         }
       }
-      EmitBitmap(scratch.bits, &scratch.tmp);
+      kernels::BitmapEmitInto(scratch.bits, &scratch.tmp);
       parent->full = false;
       std::swap(parent->rows, scratch.tmp);
       return;
@@ -155,13 +137,13 @@ void Executor::Semijoin(NodeState* parent, int edge,
     // Filter parent rows: keep those whose referenced row survived in the
     // child. Child membership is a bitmap test; the referenced row is an
     // O(1) join-index read (no key extraction, no hashing).
-    ClearBitmap(&scratch.bits, view_.TotalRows(fk.to_rel));
-    for (uint32_t child_row : child.rows) SetBit(&scratch.bits, child_row);
+    BitmapClear(&scratch.bits, view_.TotalRows(fk.to_rel));
+    kernels::BitmapSetBatch(&scratch.bits, child.rows);
     scratch.tmp.clear();
     for (uint32_t row : parent->rows) {
       int32_t referenced = view_.ParentRowOf(edge, row);
       if (referenced >= 0 &&
-          TestBit(scratch.bits, static_cast<uint32_t>(referenced))) {
+          BitmapTest(scratch.bits, static_cast<uint32_t>(referenced))) {
         scratch.tmp.push_back(row);
       }
     }
@@ -184,14 +166,14 @@ void Executor::Semijoin(NodeState* parent, int edge,
   }
   // Rows referenced by the surviving child rows, deduplicated in ascending
   // order via the bitmap (many child rows share a parent).
-  ClearBitmap(&scratch.bits, view_.TotalRows(fk.to_rel));
+  BitmapClear(&scratch.bits, view_.TotalRows(fk.to_rel));
   for (uint32_t child_row : child.rows) {
     int32_t referenced = view_.ParentRowOf(edge, child_row);
     if (referenced >= 0) {
-      SetBit(&scratch.bits, static_cast<uint32_t>(referenced));
+      BitmapSet(&scratch.bits, static_cast<uint32_t>(referenced));
     }
   }
-  EmitBitmap(scratch.bits, &scratch.tmp);
+  kernels::BitmapEmitInto(scratch.bits, &scratch.tmp);
   if (parent->full) {
     parent->full = false;
     std::swap(parent->rows, scratch.tmp);

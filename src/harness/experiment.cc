@@ -322,6 +322,8 @@ BenchArgs ParseBenchArgs(int argc, char** argv, int default_ets,
       args.seed = static_cast<uint64_t>(std::atoll(arg + 7));
     } else if (std::strncmp(arg, "--json=", 7) == 0) {
       args.json_path = arg + 7;
+    } else if (std::strncmp(arg, "--kernel-ab=", 12) == 0) {
+      args.kernel_ab_path = arg + 12;
     }
   }
   QBE_CHECK(args.ets_per_point > 0);

@@ -93,15 +93,22 @@ ExperimentPoint RunPoint(const Bundle& bundle,
                          int max_join_length, uint64_t seed);
 
 /// Common CLI arguments for the bench binaries:
-///   --ets=N    ETs per sweep point (default per bench)
-///   --scale=X  dataset scale factor
-///   --seed=N   master seed
-///   --json=P   also write the sweep as machine-readable JSON to path P
+///   --ets=N       ETs per sweep point (default per bench)
+///   --scale=X     dataset scale factor
+///   --seed=N      master seed
+///   --json=P      also write the sweep as machine-readable JSON to path P
+///   --kernel-ab=P benches that support it (bench_fig09_vary_rows_imdb) run
+///                 the SIMD kernel A/B instead of the default sweep: the
+///                 same instances under every supported dispatch level
+///                 (QBE_KERNEL equivalents forced in-process), asserting
+///                 bit-identical verification counts, and write the
+///                 per-level timings + micro-kernel speedups as JSON to P
 struct BenchArgs {
   int ets_per_point;
   double scale;
   uint64_t seed = 7;
-  std::string json_path;  // empty: no JSON output
+  std::string json_path;       // empty: no JSON output
+  std::string kernel_ab_path;  // empty: normal sweep, no kernel A/B
 };
 
 BenchArgs ParseBenchArgs(int argc, char** argv, int default_ets,

@@ -1,0 +1,281 @@
+#include "kernels/kernels.h"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "kernels/kernel_impl.h"
+#include "util/check.h"
+
+namespace qbe {
+namespace {
+
+constexpr KernelOps kScalarOps = {
+    kernel_impl::scalar::IntersectU32,
+    kernel_impl::scalar::IntersectShiftedU64,
+    kernel_impl::scalar::BitmapAnd,
+    kernel_impl::scalar::BitmapEmit,
+};
+
+#ifdef QBE_KERNELS_X86
+constexpr KernelOps kSseOps = {
+    kernel_impl::sse::IntersectU32,
+    // Two 64-bit lanes per block don't beat the scalar two-pointer merge
+    // (measured ~10% slower on the phrase micro), so the SSE level keeps
+    // the scalar shifted-span kernel. Per-entry selection is the point of
+    // the ops table: each level ships its fastest correct mix.
+    kernel_impl::scalar::IntersectShiftedU64,
+    kernel_impl::sse::BitmapAnd,
+    kernel_impl::sse::BitmapEmit,
+};
+
+constexpr KernelOps kAvx2Ops = {
+    kernel_impl::avx2::IntersectU32,
+    kernel_impl::avx2::IntersectShiftedU64,
+    kernel_impl::avx2::BitmapAnd,
+    kernel_impl::avx2::BitmapEmit,
+};
+#endif  // QBE_KERNELS_X86
+
+/// Widest level this CPU can run, probed once (CPUID via the compiler's
+/// cpu_supports runtime).
+KernelLevel DetectWidestLevel() {
+#ifdef QBE_KERNELS_X86
+  if (__builtin_cpu_supports("avx2")) return KernelLevel::kAvx2;
+  if (__builtin_cpu_supports("sse4.2")) return KernelLevel::kSse;
+#endif
+  return KernelLevel::kScalar;
+}
+
+KernelLevel WidestSupported() {
+  static const KernelLevel widest = DetectWidestLevel();
+  return widest;
+}
+
+/// Startup resolution: widest supported unless QBE_KERNEL narrows it.
+/// Unknown values and levels this CPU lacks degrade gracefully (stderr
+/// note, never a crash) — the scalar fallback acceptance criterion.
+KernelLevel ResolveStartupLevel() {
+  const KernelLevel widest = WidestSupported();
+  const char* env = std::getenv("QBE_KERNEL");
+  if (env == nullptr || *env == '\0') return widest;
+  KernelLevel requested;
+  if (!ParseKernelLevel(env, &requested)) {
+    std::fprintf(stderr,
+                 "qbe: unknown QBE_KERNEL=\"%s\" (want scalar|sse|avx2); "
+                 "using %s\n",
+                 env, KernelLevelName(widest));
+    return widest;
+  }
+  if (!KernelLevelSupported(requested)) {
+    std::fprintf(stderr,
+                 "qbe: QBE_KERNEL=%s not supported by this CPU; using %s\n",
+                 KernelLevelName(requested), KernelLevelName(widest));
+    return widest;
+  }
+  return requested;
+}
+
+std::atomic<int>& ActiveLevelSlot() {
+  static std::atomic<int> slot{static_cast<int>(ResolveStartupLevel())};
+  return slot;
+}
+
+}  // namespace
+
+const char* KernelLevelName(KernelLevel level) {
+  switch (level) {
+    case KernelLevel::kScalar: return "scalar";
+    case KernelLevel::kSse: return "sse";
+    case KernelLevel::kAvx2: return "avx2";
+  }
+  return "unknown";
+}
+
+bool KernelLevelSupported(KernelLevel level) {
+  return static_cast<int>(level) <= static_cast<int>(WidestSupported());
+}
+
+bool ParseKernelLevel(const char* value, KernelLevel* level) {
+  if (value == nullptr) return false;
+  if (std::strcmp(value, "scalar") == 0) {
+    *level = KernelLevel::kScalar;
+  } else if (std::strcmp(value, "sse") == 0) {
+    *level = KernelLevel::kSse;
+  } else if (std::strcmp(value, "avx2") == 0) {
+    *level = KernelLevel::kAvx2;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+KernelLevel ActiveKernelLevel() {
+  return static_cast<KernelLevel>(
+      ActiveLevelSlot().load(std::memory_order_relaxed));
+}
+
+void ForceKernelLevel(KernelLevel level) {
+  QBE_CHECK_MSG(KernelLevelSupported(level),
+                "ForceKernelLevel: level not supported on this CPU");
+  ActiveLevelSlot().store(static_cast<int>(level),
+                          std::memory_order_relaxed);
+}
+
+const KernelOps& KernelOpsFor(KernelLevel level) {
+  QBE_CHECK_MSG(KernelLevelSupported(level),
+                "KernelOpsFor: level not supported on this CPU");
+  switch (level) {
+    case KernelLevel::kScalar: return kScalarOps;
+#ifdef QBE_KERNELS_X86
+    case KernelLevel::kSse: return kSseOps;
+    case KernelLevel::kAvx2: return kAvx2Ops;
+#else
+    case KernelLevel::kSse:
+    case KernelLevel::kAvx2: break;
+#endif
+  }
+  return kScalarOps;
+}
+
+const KernelOps& ActiveKernelOps() {
+  return KernelOpsFor(ActiveKernelLevel());
+}
+
+namespace kernels {
+
+namespace {
+
+/// Skew threshold shared by every adaptive path: gallop when the larger
+/// side is ≥16x the smaller — the shape semijoin reductions and selective
+/// predicate seeds hit constantly. tests/kernels_test.cc probes both sides
+/// of this boundary at every level.
+constexpr size_t kGallopSkew = 16;
+
+}  // namespace
+
+void IntersectSortedInto(std::span<const uint32_t> a,
+                         std::span<const uint32_t> b,
+                         std::vector<uint32_t>* out) {
+  out->clear();
+  const std::span<const uint32_t> small = a.size() <= b.size() ? a : b;
+  const std::span<const uint32_t> large = a.size() <= b.size() ? b : a;
+  if (small.empty()) return;
+  if (large.size() / kGallopSkew >= small.size()) {
+    // Binary-probe the large side with a shrinking search window.
+    const uint32_t* lo = large.data();
+    const uint32_t* end = large.data() + large.size();
+    for (uint32_t v : small) {
+      lo = std::lower_bound(lo, end, v);
+      if (lo == end) break;
+      if (*lo == v) out->push_back(v);
+    }
+    return;
+  }
+  out->resize(small.size() + kIntersectPad32);
+  const size_t n = ActiveKernelOps().intersect_u32(
+      small.data(), small.size(), large.data(), large.size(), out->data());
+  out->resize(n);
+}
+
+void IntersectSortedInPlace(std::vector<uint32_t>* a,
+                            std::span<const uint32_t> b,
+                            std::vector<uint32_t>* scratch) {
+  IntersectSortedInto(*a, b, scratch);
+  std::swap(*a, *scratch);
+}
+
+void IntersectSortedInto(std::span<const int> a, std::span<const int> b,
+                         std::vector<int>* out) {
+  // Sorted non-negative ints order identically to their uint32 bit
+  // patterns, so the u32 kernels apply unchanged.
+  static_assert(sizeof(int) == sizeof(uint32_t));
+  out->clear();
+  const std::span<const int> small = a.size() <= b.size() ? a : b;
+  const std::span<const int> large = a.size() <= b.size() ? b : a;
+  if (small.empty()) return;
+  if (large.size() / kGallopSkew >= small.size()) {
+    const int* lo = large.data();
+    const int* end = large.data() + large.size();
+    for (int v : small) {
+      lo = std::lower_bound(lo, end, v);
+      if (lo == end) break;
+      if (*lo == v) out->push_back(v);
+    }
+    return;
+  }
+  out->resize(small.size() + kIntersectPad32);
+  const size_t n = ActiveKernelOps().intersect_u32(
+      reinterpret_cast<const uint32_t*>(small.data()), small.size(),
+      reinterpret_cast<const uint32_t*>(large.data()), large.size(),
+      reinterpret_cast<uint32_t*>(out->data()));
+  out->resize(n);
+}
+
+void IntersectSortedInPlace(std::vector<int>* a, std::span<const int> b,
+                            std::vector<int>* scratch) {
+  IntersectSortedInto(*a, b, scratch);
+  std::swap(*a, *scratch);
+}
+
+void IntersectShiftedInPlace(std::vector<uint64_t>* cand,
+                             std::span<const uint64_t> span, uint64_t shift,
+                             std::vector<uint64_t>* scratch) {
+  scratch->clear();
+  if (!cand->empty()) {
+    if (span.size() / kGallopSkew >= cand->size()) {
+      // Gallop from the candidate side with an advancing lower bound.
+      const uint64_t* lo = span.data();
+      const uint64_t* end = span.data() + span.size();
+      for (uint64_t c : *cand) {
+        const uint64_t want = c + shift;
+        lo = std::lower_bound(lo, end, want);
+        if (lo == end) break;
+        if (*lo == want) scratch->push_back(c);
+      }
+    } else {
+      scratch->resize(cand->size() + kIntersectPad64);
+      const size_t n = ActiveKernelOps().intersect_shifted_u64(
+          cand->data(), cand->size(), span.data(), span.size(), shift,
+          scratch->data());
+      scratch->resize(n);
+    }
+  }
+  std::swap(*cand, *scratch);
+}
+
+void BitmapSetBatch(std::vector<uint64_t>* bits,
+                    std::span<const uint32_t> rows) {
+  uint64_t* words = bits->data();
+  for (uint32_t row : rows) {
+    words[row >> 6] |= uint64_t{1} << (row & 63);
+  }
+}
+
+void BitmapAnd(std::vector<uint64_t>* bits,
+               std::span<const uint64_t> other) {
+  const size_t n = std::min(bits->size(), other.size());
+  ActiveKernelOps().bitmap_and(bits->data(), other.data(), n);
+  // A shorter `other` implicitly zero-extends.
+  if (other.size() < bits->size()) {
+    std::fill(bits->begin() + other.size(), bits->end(), 0);
+  }
+}
+
+void BitmapEmitInto(const std::vector<uint64_t>& bits,
+                    std::vector<uint32_t>* out) {
+  size_t total = 0;
+  for (uint64_t word : bits) total += std::popcount(word);
+  out->resize(total);
+  const size_t n =
+      ActiveKernelOps().bitmap_emit(bits.data(), bits.size(), out->data());
+  QBE_DCHECK(n == total);
+  (void)n;
+}
+
+}  // namespace kernels
+
+}  // namespace qbe

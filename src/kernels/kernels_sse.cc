@@ -1,0 +1,195 @@
+// SSE4.2 kernels: 4×u32 / 2×u64 shuffle-compare blocks. Compiled with
+// -msse4.2 (see src/CMakeLists.txt); nothing in this TU is reachable
+// before the CPUID dispatch check, and only the kernel_impl entry points
+// are exported — no inline helpers that could leak SSE4.2 code into other
+// TUs through comdat folding. Only C arrays and intrinsics on purpose.
+
+#include "kernels/kernel_impl.h"
+
+#if defined(QBE_KERNELS_X86) && !defined(__SSE4_2__)
+// x86 build without -msse4.2 on this TU (unexpected toolchain config):
+// keep the symbols, forward to the scalar oracle — dispatch still works,
+// just without the speedup.
+namespace qbe::kernel_impl::sse {
+size_t IntersectU32(const uint32_t* a, size_t na, const uint32_t* b,
+                    size_t nb, uint32_t* out) {
+  return scalar::IntersectU32(a, na, b, nb, out);
+}
+size_t IntersectShiftedU64(const uint64_t* cand, size_t nc,
+                           const uint64_t* span, size_t ns, uint64_t shift,
+                           uint64_t* out) {
+  return scalar::IntersectShiftedU64(cand, nc, span, ns, shift, out);
+}
+void BitmapAnd(uint64_t* words, const uint64_t* other, size_t num_words) {
+  scalar::BitmapAnd(words, other, num_words);
+}
+size_t BitmapEmit(const uint64_t* words, size_t num_words, uint32_t* out) {
+  return scalar::BitmapEmit(words, num_words, out);
+}
+}  // namespace qbe::kernel_impl::sse
+#elif defined(QBE_KERNELS_X86)
+
+#include <immintrin.h>
+
+namespace qbe::kernel_impl::sse {
+namespace {
+
+/// kCompact4.bytes[m] is an _mm_shuffle_epi8 control that compacts the
+/// 32-bit lanes whose bit is set in the 4-bit mask m to the front of the
+/// vector (0x80 = zero-fill the rest).
+struct Compact4Table {
+  alignas(16) unsigned char bytes[16][16];
+};
+
+constexpr Compact4Table MakeCompact4() {
+  Compact4Table t{};
+  for (int m = 0; m < 16; ++m) {
+    int out = 0;
+    for (int lane = 0; lane < 4; ++lane) {
+      if ((m >> lane) & 1) {
+        for (int b = 0; b < 4; ++b) {
+          t.bytes[m][out * 4 + b] =
+              static_cast<unsigned char>(lane * 4 + b);
+        }
+        ++out;
+      }
+    }
+    for (; out < 4; ++out) {
+      for (int b = 0; b < 4; ++b) t.bytes[m][out * 4 + b] = 0x80;
+    }
+  }
+  return t;
+}
+
+constexpr Compact4Table kCompact4 = MakeCompact4();
+
+}  // namespace
+
+size_t IntersectU32(const uint32_t* a, size_t na, const uint32_t* b,
+                    size_t nb, uint32_t* out) {
+  size_t i = 0, j = 0, n = 0;
+  while (i + 4 <= na && j + 4 <= nb) {
+    const __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + j));
+    // Compare va against every rotation of vb: sorted-unique inputs make
+    // each common value match exactly once.
+    __m128i cmp = _mm_cmpeq_epi32(va, vb);
+    cmp = _mm_or_si128(
+        cmp, _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, _MM_SHUFFLE(0, 3, 2,
+                                                                   1))));
+    cmp = _mm_or_si128(
+        cmp, _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, _MM_SHUFFLE(1, 0, 3,
+                                                                   2))));
+    cmp = _mm_or_si128(
+        cmp, _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, _MM_SHUFFLE(2, 1, 0,
+                                                                   3))));
+    const int mask = _mm_movemask_ps(_mm_castsi128_ps(cmp));
+    const __m128i shuf = _mm_load_si128(
+        reinterpret_cast<const __m128i*>(kCompact4.bytes[mask]));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + n),
+                     _mm_shuffle_epi8(va, shuf));
+    n += static_cast<size_t>(__builtin_popcount(
+        static_cast<unsigned>(mask)));
+    // Branchless advance — data-dependent coin flips mispredict (see the
+    // AVX2 kernel for the rationale).
+    const uint32_t amax = a[i + 3], bmax = b[j + 3];
+    i += static_cast<size_t>(amax <= bmax) * 4;
+    j += static_cast<size_t>(bmax <= amax) * 4;
+  }
+  while (i < na && j < nb) {
+    const uint32_t va = a[i], vb = b[j];
+    if (va < vb) {
+      ++i;
+    } else if (va > vb) {
+      ++j;
+    } else {
+      out[n++] = va;
+      ++i;
+      ++j;
+    }
+  }
+  return n;
+}
+
+size_t IntersectShiftedU64(const uint64_t* cand, size_t nc,
+                           const uint64_t* span, size_t ns, uint64_t shift,
+                           uint64_t* out) {
+  size_t i = 0, j = 0, n = 0;
+  const __m128i vshift = _mm_set1_epi64x(static_cast<long long>(shift));
+  while (i + 2 <= nc && j + 2 <= ns) {
+    const __m128i vc =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(cand + i));
+    const __m128i want = _mm_add_epi64(vc, vshift);
+    const __m128i vs =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(span + j));
+    __m128i cmp = _mm_cmpeq_epi64(want, vs);
+    cmp = _mm_or_si128(
+        cmp,
+        _mm_cmpeq_epi64(want, _mm_shuffle_epi32(vs, _MM_SHUFFLE(1, 0, 3,
+                                                                2))));
+    const int mask = _mm_movemask_pd(_mm_castsi128_pd(cmp));
+    if (mask & 1) out[n++] = cand[i];
+    if (mask & 2) out[n++] = cand[i + 1];
+    const uint64_t cmax = cand[i + 1] + shift, smax = span[j + 1];
+    if (cmax <= smax) i += 2;
+    if (smax <= cmax) j += 2;
+  }
+  while (i < nc && j < ns) {
+    const uint64_t want = cand[i] + shift;
+    if (want < span[j]) {
+      ++i;
+    } else if (want > span[j]) {
+      ++j;
+    } else {
+      out[n++] = cand[i];
+      ++i;
+      ++j;
+    }
+  }
+  return n;
+}
+
+void BitmapAnd(uint64_t* words, const uint64_t* other, size_t num_words) {
+  size_t w = 0;
+  for (; w + 2 <= num_words; w += 2) {
+    const __m128i a =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(words + w));
+    const __m128i b =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(other + w));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(words + w),
+                     _mm_and_si128(a, b));
+  }
+  for (; w < num_words; ++w) words[w] &= other[w];
+}
+
+size_t BitmapEmit(const uint64_t* words, size_t num_words, uint32_t* out) {
+  size_t n = 0, w = 0;
+  for (; w + 2 <= num_words; w += 2) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(words + w));
+    if (_mm_testz_si128(v, v)) continue;  // skip all-zero 128-bit blocks
+    for (size_t k = w; k < w + 2; ++k) {
+      uint64_t word = words[k];
+      while (word != 0) {
+        out[n++] = static_cast<uint32_t>(
+            k * 64 + static_cast<size_t>(__builtin_ctzll(word)));
+        word &= word - 1;
+      }
+    }
+  }
+  for (; w < num_words; ++w) {
+    uint64_t word = words[w];
+    while (word != 0) {
+      out[n++] = static_cast<uint32_t>(
+          w * 64 + static_cast<size_t>(__builtin_ctzll(word)));
+      word &= word - 1;
+    }
+  }
+  return n;
+}
+
+}  // namespace qbe::kernel_impl::sse
+
+#endif  // QBE_KERNELS_X86

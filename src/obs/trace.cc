@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "kernels/kernels.h"
 #include "util/check.h"
 
 namespace qbe {
@@ -218,6 +219,7 @@ Trace TraceContext::Stitch() const {
   std::lock_guard<std::mutex> lock(lanes_mu_);
   Trace trace;
   trace.request_id = request_id_;
+  trace.kernel_level = KernelLevelName(ActiveKernelLevel());
   // Global index of each lane's first span, for parent-ref resolution.
   std::vector<size_t> lane_offset(lanes_.size(), 0);
   size_t total = 0;
@@ -264,17 +266,26 @@ namespace {
 
 void AppendSpanEvent(const Trace& trace, const TraceSpan& span,
                      bool* first, std::string* out) {
-  char buf[192];
+  char buf[256];
   double ts_us = static_cast<double>(span.start_ns) / 1000.0;
   double dur_us =
       static_cast<double>(std::max<int64_t>(0, span.end_ns - span.start_ns)) /
       1000.0;
+  // Kernel-bound spans carry the dispatch level so A/B traces are
+  // attributable to the SIMD level that produced them.
+  const bool kernel_bound = span.kind == SpanKind::kTextMatch ||
+                            span.kind == SpanKind::kEvalExec;
+  char args[64] = "";
+  if (kernel_bound && !trace.kernel_level.empty()) {
+    std::snprintf(args, sizeof(args), ",\"args\":{\"kernel_level\":\"%s\"}",
+                  trace.kernel_level.c_str());
+  }
   std::snprintf(buf, sizeof(buf),
                 "%s\n{\"name\":\"%s\",\"cat\":\"qbe\",\"ph\":\"X\","
-                "\"ts\":%.3f,\"dur\":%.3f,\"pid\":%llu,\"tid\":%u}",
+                "\"ts\":%.3f,\"dur\":%.3f,\"pid\":%llu,\"tid\":%u%s}",
                 *first ? "" : ",", SpanKindName(span.kind), ts_us, dur_us,
                 static_cast<unsigned long long>(trace.request_id),
-                span.lane);
+                span.lane, args);
   *first = false;
   out->append(buf);
 }

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <utility>
 
+#include "kernels/kernels.h"
 #include "obs/prom.h"
 #include "obs/slow_log.h"
 #include "util/deadline.h"
@@ -236,6 +237,7 @@ void DiscoveryService::Run(const std::shared_ptr<Request>& request) {
     record.candidates = static_cast<int64_t>(result.num_candidates);
     record.verifications = result.counters.verifications;
     record.queries = static_cast<int64_t>(result.queries.size());
+    record.kernel_level = KernelLevelName(ActiveKernelLevel());
     record.traced = traced;
     if (traced) {
       for (size_t k = 0; k < static_cast<size_t>(SpanKind::kNumKinds); ++k) {
@@ -349,6 +351,10 @@ void DiscoveryService::RefreshGauges() {
   metrics_.SetGauge("delta_tombstones",
                     static_cast<double>(live_.tombstones()));
   metrics_.SetGauge("wal_attached", live_.has_wal() ? 1.0 : 0.0);
+  // 0 = scalar, 1 = sse, 2 = avx2 (KernelLevel enum values) — which SIMD
+  // dispatch level the verification hot path runs under.
+  metrics_.SetGauge("kernel_level",
+                    static_cast<double>(ActiveKernelLevel()));
 }
 
 std::string DiscoveryService::MetricsDump() {

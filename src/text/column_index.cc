@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "kernels/kernels.h"
 #include "util/check.h"
 
 namespace qbe {
@@ -33,6 +34,7 @@ std::vector<int> ColumnIndex::ColumnsContainingIds(
   // Intersect the token directories to find columns containing every token,
   // then verify the consecutive-position requirement per column.
   std::vector<int> cand;
+  std::vector<int> scratch;
   for (size_t k = 0; k < ids.size(); ++k) {
     if (ids[k] == TokenDict::kNoToken) return result;
     auto it = token_columns_.find(ids[k]);
@@ -40,10 +42,7 @@ std::vector<int> ColumnIndex::ColumnsContainingIds(
     if (k == 0) {
       cand = it->second;
     } else {
-      std::vector<int> merged;
-      std::set_intersection(cand.begin(), cand.end(), it->second.begin(),
-                            it->second.end(), std::back_inserter(merged));
-      cand = std::move(merged);
+      kernels::IntersectSortedInPlace(&cand, it->second, &scratch);
     }
     if (cand.empty()) return result;
   }

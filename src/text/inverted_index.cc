@@ -4,6 +4,7 @@
 #include <numeric>
 #include <utility>
 
+#include "kernels/kernels.h"
 #include "text/tokenizer.h"
 #include "util/intersect.h"
 
@@ -202,31 +203,14 @@ void InvertedIndex::MatchPhraseIdsInto(std::span<const uint32_t> ids,
   for (size_t j = 1; j < ids.size() && !cand.empty(); ++j) {
     const size_t k = order[j];
     const uint32_t s = slots[k];
-    const uint64_t* begin = postings_.data() + offsets_[s];
-    const uint64_t* end = postings_.data() + offsets_[s + 1];
-    next.clear();
-    if (static_cast<size_t>(end - begin) / 16 >= cand.size()) {
-      // Gallop from the candidate side with an advancing lower bound.
-      const uint64_t* lo = begin;
-      for (uint64_t c : cand) {
-        const uint64_t want = c + k;
-        lo = std::lower_bound(lo, end, want);
-        if (lo == end) break;
-        if (*lo == want) next.push_back(c);
-      }
-    } else {
-      size_t i = 0;
-      for (const uint64_t* p = begin; p != end && i < cand.size(); ++p) {
-        if (static_cast<uint32_t>(*p) < k) continue;
-        const uint64_t v = *p - k;
-        while (i < cand.size() && cand[i] < v) ++i;
-        if (i < cand.size() && cand[i] == v) {
-          next.push_back(v);
-          ++i;
-        }
-      }
-    }
-    std::swap(cand, next);
+    // Batched shifted-span merge on the dispatched kernel layer: keeps the
+    // candidates whose k-shifted witness occurs in this token's span,
+    // galloping when the span dwarfs the candidate set (DESIGN.md §14).
+    kernels::IntersectShiftedInPlace(
+        &cand,
+        std::span<const uint64_t>(postings_.data() + offsets_[s],
+                                  offsets_[s + 1] - offsets_[s]),
+        static_cast<uint64_t>(k), &next);
   }
   for (uint64_t c : cand) {
     const uint32_t row = static_cast<uint32_t>(c >> 32);

@@ -1,39 +1,27 @@
 #ifndef QBE_UTIL_INTERSECT_H_
 #define QBE_UTIL_INTERSECT_H_
 
-#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "kernels/kernels.h"
+
 namespace qbe {
 
 /// Intersection of two sorted, deduplicated uint32 row sets into `*out`
-/// (cleared first; capacity is reused). Linear merge for comparable sizes;
-/// when one side is ≥16x smaller, gallops — binary-probes the larger side
-/// with a shrinking search window — which is the shape semijoin reductions
-/// and selective-predicate seeds hit constantly (a handful of candidate
-/// rows against a large reduced set). Inputs are spans so both owned
-/// vectors and mmap'd snapshot sections (SpanOrVec) feed the same kernel.
+/// (cleared first; capacity is reused). Dispatches to the SIMD kernel
+/// layer (DESIGN.md §14): dense merges run the runtime-selected
+/// AVX2/SSE4.2/scalar kernel; when one side is ≥16x smaller it gallops —
+/// binary-probes the larger side with a shrinking search window — which is
+/// the shape semijoin reductions and selective-predicate seeds hit
+/// constantly (a handful of candidate rows against a large reduced set).
+/// Inputs are spans so both owned vectors and mmap'd snapshot sections
+/// (SpanOrVec) feed the same kernel.
 inline void IntersectSortedInto(std::span<const uint32_t> a,
                                 std::span<const uint32_t> b,
                                 std::vector<uint32_t>* out) {
-  out->clear();
-  const std::span<const uint32_t> small = a.size() <= b.size() ? a : b;
-  const std::span<const uint32_t> large = a.size() <= b.size() ? b : a;
-  if (small.empty()) return;
-  if (large.size() / 16 >= small.size()) {
-    const uint32_t* lo = large.data();
-    const uint32_t* end = large.data() + large.size();
-    for (uint32_t v : small) {
-      lo = std::lower_bound(lo, end, v);
-      if (lo == end) break;
-      if (*lo == v) out->push_back(v);
-    }
-    return;
-  }
-  std::set_intersection(small.begin(), small.end(), large.begin(),
-                        large.end(), std::back_inserter(*out));
+  kernels::IntersectSortedInto(a, b, out);
 }
 
 /// In-place variant: *a ∩= b, using *scratch as the output buffer (both
@@ -41,8 +29,7 @@ inline void IntersectSortedInto(std::span<const uint32_t> a,
 inline void IntersectSortedInPlace(std::vector<uint32_t>* a,
                                    std::span<const uint32_t> b,
                                    std::vector<uint32_t>* scratch) {
-  IntersectSortedInto(*a, b, scratch);
-  std::swap(*a, *scratch);
+  kernels::IntersectSortedInPlace(a, b, scratch);
 }
 
 }  // namespace qbe

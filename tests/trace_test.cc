@@ -22,6 +22,7 @@
 
 #include "core/discovery.h"
 #include "datagen/retailer.h"
+#include "kernels/kernels.h"
 #include "obs/metrics_http.h"
 #include "obs/prom.h"
 #include "obs/slow_log.h"
@@ -214,15 +215,25 @@ TEST(ChromeTraceJsonTest, GoldenOutput) {
   SpanRef gen = ctx.OpenSpan(SpanKind::kCandidateGen);
   g_fake_now_ns = 3000;
   ctx.CloseSpan(gen);
+  g_fake_now_ns = 3500;
+  SpanRef exec = ctx.OpenSpan(SpanKind::kEvalExec);
+  g_fake_now_ns = 4000;
+  ctx.CloseSpan(exec);
   g_fake_now_ns = 5000;
   ctx.CloseSpan(root);
 
+  // Kernel-bound spans (eval_exec, text_match) carry the dispatch level as
+  // a trace-event arg; the level is whatever this process runs under.
+  const std::string level = KernelLevelName(ActiveKernelLevel());
   const std::string expected =
       "{\"traceEvents\":[\n"
       "{\"name\":\"request\",\"cat\":\"qbe\",\"ph\":\"X\","
       "\"ts\":1.000,\"dur\":4.000,\"pid\":7,\"tid\":0},\n"
       "{\"name\":\"candidate_gen\",\"cat\":\"qbe\",\"ph\":\"X\","
-      "\"ts\":2.000,\"dur\":1.000,\"pid\":7,\"tid\":0}\n"
+      "\"ts\":2.000,\"dur\":1.000,\"pid\":7,\"tid\":0},\n"
+      "{\"name\":\"eval_exec\",\"cat\":\"qbe\",\"ph\":\"X\","
+      "\"ts\":3.500,\"dur\":0.500,\"pid\":7,\"tid\":0,"
+      "\"args\":{\"kernel_level\":\"" + level + "\"}}\n"
       "],\"displayTimeUnit\":\"ms\"}\n";
   EXPECT_EQ(ChromeTraceJson(ctx.Stitch()), expected);
 }
@@ -269,6 +280,7 @@ TEST(SlowQueryJsonTest, GoldenOutput) {
   record.candidates = 17;
   record.verifications = 5;
   record.queries = 1;
+  record.kernel_level = "avx2";
   record.traced = true;
   record.phases = {{"candidate_gen", 0.001}, {"verify:filter", 0.0105}};
 
@@ -276,7 +288,8 @@ TEST(SlowQueryJsonTest, GoldenOutput) {
       "{\"event\":\"slow_query\",\"request_id\":42,\"status\":\"ok\","
       "\"latency_ms\":12.345,\"queue_ms\":1.000,"
       "\"et_rows\":3,\"et_cols\":2,\"candidates\":17,"
-      "\"verifications\":5,\"queries\":1,\"traced\":true,"
+      "\"verifications\":5,\"queries\":1,"
+      "\"kernel_level\":\"avx2\",\"traced\":true,"
       "\"phases\":{\"candidate_gen\":1.000,\"verify:filter\":10.500}}";
   EXPECT_EQ(SlowQueryJson(record), expected);
 }
@@ -427,6 +440,7 @@ TEST(ServiceTracingTest, SampledRequestsYieldTracesMetricsAndSlowLog) {
   for (const std::string& line : log_lines) {
     EXPECT_EQ(line.find("{\"event\":\"slow_query\""), 0u) << line;
     EXPECT_NE(line.find("\"traced\":true"), std::string::npos);
+    EXPECT_NE(line.find("\"kernel_level\":\""), std::string::npos);
     EXPECT_NE(line.find("\"phases\":{"), std::string::npos);
   }
 
