@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "core/parallel_verify.h"
+#include "shard/shard_exec.h"
 #include "util/check.h"
 #include "util/stopwatch.h"
 
@@ -259,10 +260,15 @@ std::vector<bool> FilterVerifier::Verify(const VerifyContext& ctx,
   // verification is spent and the greedy never gambles on them.
   for (int f = 0; f < universe.num_filters(); ++f) {
     const Filter& filter = universe.filters[f];
-    if (filter.IsTriviallySuccessful() &&
-        DbView(ctx.db, ctx.delta).LiveRows(filter.tree.verts.First()) > 0) {
-      s.MarkSuccess(f);
-    }
+    if (!filter.IsTriviallySuccessful()) continue;
+    // Sharded mode: emptiness is a global property — a relation can be
+    // empty in shard 0 yet populated elsewhere, so the check must sum
+    // live rows across the whole shard set (DESIGN.md §15).
+    const uint64_t live_rows =
+        ctx.shards != nullptr
+            ? ctx.shards->TotalLiveRows(filter.tree.verts.First())
+            : DbView(ctx.db, ctx.delta).LiveRows(filter.tree.verts.First());
+    if (live_rows > 0) s.MarkSuccess(f);
   }
 
   if (pool.pool() != nullptr) {

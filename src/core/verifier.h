@@ -21,6 +21,7 @@
 namespace qbe {
 
 class ThreadPool;
+class ShardExecSet;
 
 /// Row orderings for the baseline verifiers (§4.1): as given, uniformly
 /// shuffled, or densest row first (candidates are likelier to fail on
@@ -221,6 +222,14 @@ struct VerifyContext {
   /// have no enclosing span: discovery points this at the per-algorithm
   /// verify span so fan-out evaluations stitch under it.
   SpanRef trace_parent = kNullSpan;
+  /// Non-null in sharded mode (src/shard/, DESIGN.md §15): EvalEngine
+  /// routes each logical existence query through the shard set's
+  /// canonical-order scatter-gather probe instead of `exec`, charging the
+  /// counters once per logical query — outcomes and verification counts
+  /// stay bit-identical to the unsharded engine. Verifiers that consult
+  /// row counts directly must use the set's global TotalLiveRows. Not
+  /// owned.
+  ShardExecSet* shards = nullptr;
 };
 
 /// Counting wrapper around the executor: evaluates one filter / CQ-row

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "core/parallel_verify.h"
+#include "shard/shard_exec.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
 
@@ -40,6 +41,27 @@ bool EvalEngine::Execute(const JoinTree& tree,
     counters_->aborted = true;
     return false;
   }
+  // One *logical* existence query: charged to the counters exactly once
+  // regardless of how it runs. In sharded mode (DESIGN.md §15) the shard
+  // set answers it by probing shard-local executors in canonical order —
+  // FK co-location makes the OR over shards equal to the unsharded answer,
+  // so cached outcomes stay logical-level and interchangeable with
+  // unsharded entries.
+  auto run_exec = [&]() {
+    counters_->verifications += 1;
+    counters_->estimated_cost += cost;
+    ScopedSpan exec_span(ctx_.trace, SpanKind::kEvalExec, ctx_.trace_parent);
+    if (ctx_.shards != nullptr) {
+      int shard = -1;
+      bool found = ctx_.shards->Exists(tree, predicates, ctx_.trace, &shard);
+      if (ctx_.trace != nullptr && shard >= 0) {
+        ctx_.trace->AnnotateShard(exec_span.ref(), shard);
+      }
+      return found;
+    }
+    return ctx_.exec.Exists(tree, predicates, memo_, ctx_.match_cache,
+                            ctx_.trace);
+  };
   if (ctx_.cache != nullptr) {
     std::string key = EvalCacheKey(ctx_.db, tree, predicates);
     // Outcomes are only reusable within one data version: epoch 0 (the
@@ -62,19 +84,11 @@ bool EvalEngine::Execute(const JoinTree& tree,
       }
     }
     if (cached.has_value()) return *cached;
-    counters_->verifications += 1;
-    counters_->estimated_cost += cost;
-    ScopedSpan exec_span(ctx_.trace, SpanKind::kEvalExec, ctx_.trace_parent);
-    bool ok = ctx_.exec.Exists(tree, predicates, memo_, ctx_.match_cache,
-                               ctx_.trace);
+    bool ok = run_exec();
     ctx_.cache->Insert(key, ok);
     return ok;
   }
-  counters_->verifications += 1;
-  counters_->estimated_cost += cost;
-  ScopedSpan exec_span(ctx_.trace, SpanKind::kEvalExec, ctx_.trace_parent);
-  return ctx_.exec.Exists(tree, predicates, memo_, ctx_.match_cache,
-                          ctx_.trace);
+  return run_exec();
 }
 
 bool EvalEngine::EvaluateFilter(const Filter& filter) {

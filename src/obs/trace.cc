@@ -84,6 +84,7 @@ const char* TraceCounterName(TraceCounter counter) {
     case TraceCounter::kSubtreeMemoLookups: return "subtree_memo_lookups";
     case TraceCounter::kDeltaRows: return "delta_rows";
     case TraceCounter::kDeltaTombstones: return "delta_tombstones";
+    case TraceCounter::kShardProbes: return "shard_probes";
     case TraceCounter::kDroppedSpans: return "dropped_spans";
     case TraceCounter::kNumCounters: break;
   }
@@ -209,6 +210,15 @@ void TraceContext::CloseSpan(SpanRef ref) {
   }
 }
 
+void TraceContext::AnnotateShard(SpanRef ref, int shard) {
+  if (ref == kNullSpan) return;
+  Lane* lane = LaneForThisThread();
+  if (lane == nullptr) return;
+  uint32_t index = RefIndex(ref);
+  QBE_CHECK(index < lane->spans.size());
+  lane->spans[index].shard = static_cast<int32_t>(shard);
+}
+
 void TraceContext::Count(TraceCounter counter, int64_t delta) {
   Lane* lane = LaneForThisThread();
   if (lane == nullptr) return;
@@ -236,6 +246,7 @@ Trace TraceContext::Stitch() const {
       span.lane = static_cast<uint32_t>(l);
       span.start_ns = rec.start_ns;
       span.end_ns = rec.end_ns;
+      span.shard = rec.shard;
       span.parent =
           rec.parent == kNullSpan
               ? -1
@@ -266,7 +277,7 @@ namespace {
 
 void AppendSpanEvent(const Trace& trace, const TraceSpan& span,
                      bool* first, std::string* out) {
-  char buf[256];
+  char buf[320];
   double ts_us = static_cast<double>(span.start_ns) / 1000.0;
   double dur_us =
       static_cast<double>(std::max<int64_t>(0, span.end_ns - span.start_ns)) /
@@ -275,10 +286,18 @@ void AppendSpanEvent(const Trace& trace, const TraceSpan& span,
   // attributable to the SIMD level that produced them.
   const bool kernel_bound = span.kind == SpanKind::kTextMatch ||
                             span.kind == SpanKind::kEvalExec;
-  char args[64] = "";
+  char args[96] = "";
   if (kernel_bound && !trace.kernel_level.empty()) {
-    std::snprintf(args, sizeof(args), ",\"args\":{\"kernel_level\":\"%s\"}",
-                  trace.kernel_level.c_str());
+    if (span.shard >= 0) {
+      std::snprintf(args, sizeof(args),
+                    ",\"args\":{\"kernel_level\":\"%s\",\"shard\":%d}",
+                    trace.kernel_level.c_str(), span.shard);
+    } else {
+      std::snprintf(args, sizeof(args), ",\"args\":{\"kernel_level\":\"%s\"}",
+                    trace.kernel_level.c_str());
+    }
+  } else if (span.shard >= 0) {
+    std::snprintf(args, sizeof(args), ",\"args\":{\"shard\":%d}", span.shard);
   }
   std::snprintf(buf, sizeof(buf),
                 "%s\n{\"name\":\"%s\",\"cat\":\"qbe\",\"ph\":\"X\","

@@ -71,6 +71,7 @@ enum class TraceCounter : uint8_t {
   kSubtreeMemoLookups,
   kDeltaRows,        // overlay rows visible to this request's pinned epoch
   kDeltaTombstones,
+  kShardProbes,      // shard-local existence-query probes (DESIGN.md §15)
   kDroppedSpans,
   kNumCounters
 };
@@ -100,6 +101,7 @@ struct TraceSpan {
   int64_t start_ns = 0;
   int64_t end_ns = -1;  // -1: never closed (malformed tree)
   int32_t parent = -1;  // index into Trace::spans; -1 = root
+  int32_t shard = -1;   // shard that answered (sharded eval_exec only)
 };
 
 /// The stitched, immutable result of one traced request.
@@ -149,6 +151,11 @@ class TraceContext {
   /// thread in LIFO order — ScopedSpan guarantees both.
   void CloseSpan(SpanRef ref);
 
+  /// Tags `ref` with the shard that answered it (sharded scatter-gather;
+  /// DESIGN.md §15). Same discipline as CloseSpan: opening thread, while
+  /// the span is open. No-op for kNullSpan.
+  void AnnotateShard(SpanRef ref, int shard);
+
   void Count(TraceCounter counter, int64_t delta);
 
   /// Nanoseconds since context creation on the configured clock.
@@ -167,6 +174,7 @@ class TraceContext {
     int64_t end_ns = -1;
     SpanRef parent = kNullSpan;  // packed ref, resolved at stitch
     SpanKind kind = SpanKind::kRequest;
+    int32_t shard = -1;
   };
 
   static constexpr int kMaxDepth = 64;

@@ -6,7 +6,10 @@
 #include "kernels/kernels.h"
 #include "obs/prom.h"
 #include "obs/slow_log.h"
+#include "shard/coordinator.h"
+#include "shard/partition.h"
 #include "util/deadline.h"
+#include "util/hash64.h"
 #include "util/stopwatch.h"
 
 namespace qbe {
@@ -61,12 +64,36 @@ struct DiscoveryService::Request {
   explicit Request(ExampleTable table) : et(std::move(table)) {}
 };
 
+namespace {
+
+std::vector<Database> OneShard(Database db) {
+  std::vector<Database> shards;
+  shards.push_back(std::move(db));
+  return shards;
+}
+
+/// Per-shard suffix for WAL/snapshot paths in sharded mode; unsharded
+/// deployments keep their paths verbatim.
+std::string ShardPath(const std::string& path, int shard, int num_shards) {
+  if (path.empty() || num_shards == 1) return path;
+  return path + ".shard" + std::to_string(shard);
+}
+
+}  // namespace
+
 DiscoveryService::DiscoveryService(Database db, ServiceOptions options)
-    : live_(std::move(db)),
-      options_(std::move(options)),
+    : DiscoveryService(OneShard(std::move(db)), std::move(options)) {}
+
+DiscoveryService::DiscoveryService(std::vector<Database> shards,
+                                   ServiceOptions options)
+    : options_(std::move(options)),
       cache_(options_.cache_shards),
       pool_(std::make_unique<ThreadPool>(options_.num_workers,
                                          options_.max_queue_depth)) {
+  for (Database& shard : shards) {
+    lives_.push_back(std::make_unique<LiveDatabase>(std::move(shard)));
+  }
+  const int n = num_shards();
   sampler_.rate = options_.trace_sample;
   sampler_.seed = options_.trace_seed;
   if (options_.discovery.verify.threads > 1) {
@@ -77,21 +104,33 @@ DiscoveryService::DiscoveryService(Database db, ServiceOptions options)
     verify_pool_ = std::make_unique<ThreadPool>(
         options_.discovery.verify.threads, /*max_queue_depth=*/1024);
   }
-  if (!options_.wal_path.empty() &&
-      !live_.AttachWal(options_.wal_path, &wal_error_)) {
-    metrics_.GetCounter("wal_attach_failed").Increment();
+  if (!options_.wal_path.empty()) {
+    // Sharded mode logs each shard's ops into its own WAL (append routing
+    // is deterministic, so replaying each shard's log reproduces the same
+    // placement).
+    for (int s = 0; s < n; ++s) {
+      std::string shard_error;
+      if (!lives_[s]->AttachWal(ShardPath(options_.wal_path, s, n),
+                                &shard_error)) {
+        metrics_.GetCounter("wal_attach_failed").Increment();
+        if (wal_error_.empty()) wal_error_ = std::move(shard_error);
+      }
+    }
   }
   if (options_.compact_after_ops > 0) {
-    Compactor::Options co;
-    co.ops_threshold = options_.compact_after_ops;
-    co.snapshot_path = options_.compact_snapshot_path;
-    co.on_compaction = [this](const CompactionStats& stats) {
-      RecordCompaction(stats);
-    };
-    co.on_error = [this](const std::string&) {
-      metrics_.GetCounter("compactions_failed").Increment();
-    };
-    compactor_ = std::make_unique<Compactor>(&live_, std::move(co));
+    for (int s = 0; s < n; ++s) {
+      Compactor::Options co;
+      co.ops_threshold = options_.compact_after_ops;
+      co.snapshot_path = ShardPath(options_.compact_snapshot_path, s, n);
+      co.on_compaction = [this](const CompactionStats& stats) {
+        RecordCompaction(stats);
+      };
+      co.on_error = [this](const std::string&) {
+        metrics_.GetCounter("compactions_failed").Increment();
+      };
+      compactors_.push_back(
+          std::make_unique<Compactor>(lives_[s].get(), std::move(co)));
+    }
   }
 }
 
@@ -168,13 +207,43 @@ void DiscoveryService::Run(const std::shared_ptr<Request>& request) {
   SpanRef request_span =
       trace == nullptr ? kNullSpan : trace->OpenSpan(SpanKind::kRequest);
 
-  // Pin the epoch current right now: the whole discovery reads this one
-  // consistent base+delta snapshot, and the pin keeps it alive across any
-  // concurrent appends or compactions. The epoch namespaces the shared
-  // eval cache, so outcomes never cross data versions.
-  const DbVersion version = live_.Pin();
-  DiscoveryResult result =
-      DiscoverQueries(version.view(), request->et, options, version.epoch);
+  // Pin the epoch current right now — every shard's — so the whole
+  // discovery reads one consistent base+delta snapshot per shard, kept
+  // alive across any concurrent appends or compactions. The (combined)
+  // epoch namespaces the shared eval cache, so outcomes never cross data
+  // versions.
+  std::vector<DbVersion> versions;
+  versions.reserve(lives_.size());
+  for (const auto& live : lives_) versions.push_back(live->Pin());
+
+  DiscoveryResult result;
+  ShardStats shard_stats;
+  if (num_shards() == 1) {
+    result = DiscoverQueries(versions[0].view(), request->et, options,
+                             versions[0].epoch);
+  } else {
+    // Combined cache epoch: a deterministic digest of the per-shard
+    // epochs — 0 (the "pristine" namespace) iff every shard is pristine,
+    // else forced nonzero so mutated and pristine states never share
+    // cache entries.
+    std::vector<uint64_t> epochs;
+    epochs.reserve(versions.size());
+    bool any_nonzero = false;
+    for (const DbVersion& version : versions) {
+      epochs.push_back(version.epoch);
+      any_nonzero = any_nonzero || version.epoch != 0;
+    }
+    uint64_t epoch = 0;
+    if (any_nonzero) {
+      epoch = Hash64(epochs.data(), epochs.size() * sizeof(uint64_t));
+      if (epoch == 0) epoch = 1;
+    }
+    std::vector<DbView> views;
+    views.reserve(versions.size());
+    for (const DbVersion& version : versions) views.push_back(version.view());
+    result = DiscoverQueriesSharded(views, request->et, options, epoch,
+                                    &shard_stats);
+  }
   if (trace != nullptr) trace->CloseSpan(request_span);
 
   ServiceResponse response;
@@ -197,6 +266,21 @@ void DiscoveryService::Run(const std::shared_ptr<Request>& request) {
         .Increment(result.counters.match_cache_hits);
     metrics_.GetCounter("match_cache_lookups")
         .Increment(result.counters.match_cache_lookups);
+  }
+  // Per-shard scatter-gather traffic and balance (sharded mode only;
+  // observation-only, like everything else here).
+  for (size_t s = 0; s < shard_stats.per_shard.size(); ++s) {
+    const auto& shard = shard_stats.per_shard[s];
+    const std::string suffix = "_s" + std::to_string(s);
+    metrics_.GetCounter("shard_probes" + suffix).Increment(shard.probes);
+    metrics_.GetCounter("shard_hits" + suffix).Increment(shard.hits);
+    metrics_.GetCounter("shard_skipped_empty" + suffix)
+        .Increment(shard.skipped_empty);
+    metrics_.GetHistogram("shard_busy_seconds", LatencyBounds())
+        .Observe(shard.busy_seconds);
+  }
+  if (num_shards() > 1) {
+    metrics_.SetGauge("shard_straggler_ratio", shard_stats.straggler_ratio);
   }
   metrics_.GetHistogram("latency_seconds", LatencyBounds())
       .Observe(response.latency_seconds);
@@ -272,7 +356,30 @@ std::string DiscoveryService::ChromeTraces() const {
 
 bool DiscoveryService::Append(int rel, std::vector<Value> values,
                               std::string* error) {
-  if (!live_.Append(rel, std::move(values), error)) {
+  if (num_shards() == 1) {
+    if (!lives_[0]->Append(rel, std::move(values), error)) {
+      metrics_.GetCounter("appends_rejected").Increment();
+      return false;
+    }
+    metrics_.GetCounter("rows_appended").Increment();
+    return true;
+  }
+
+  // Sharded: route first (RouteAppend pins every shard to inspect live
+  // relatives), then append to the chosen shard. The mutex serializes
+  // route+append so concurrent appends of related rows see each other.
+  std::lock_guard<std::mutex> lock(route_mu_);
+  std::vector<DbVersion> versions;
+  std::vector<DbView> views;
+  versions.reserve(lives_.size());
+  views.reserve(lives_.size());
+  for (const auto& live : lives_) {
+    versions.push_back(live->Pin());
+    views.push_back(versions.back().view());
+  }
+  const int shard =
+      RouteAppend(views, rel, values, options_.shard_seed, error);
+  if (shard < 0 || !lives_[shard]->Append(rel, std::move(values), error)) {
     metrics_.GetCounter("appends_rejected").Increment();
     return false;
   }
@@ -284,16 +391,52 @@ bool DiscoveryService::AppendBatch(int rel,
                                    std::vector<std::vector<Value>> rows,
                                    std::string* error) {
   const int64_t n = static_cast<int64_t>(rows.size());
-  if (!live_.AppendBatch(rel, std::move(rows), error)) {
-    metrics_.GetCounter("appends_rejected").Increment(n);
-    return false;
+  if (num_shards() == 1) {
+    if (!lives_[0]->AppendBatch(rel, std::move(rows), error)) {
+      metrics_.GetCounter("appends_rejected").Increment(n);
+      return false;
+    }
+    metrics_.GetCounter("rows_appended").Increment(n);
+    return true;
   }
-  metrics_.GetCounter("rows_appended").Increment(n);
+
+  // Sharded batches route and apply row by row (a later row may be
+  // constrained by an earlier one — e.g. a parent and its children in one
+  // batch). Not all-or-nothing across shards: on failure, rows before the
+  // offending one stay applied and `*error` says how many.
+  for (int64_t i = 0; i < n; ++i) {
+    if (!Append(rel, std::move(rows[i]), error)) {
+      metrics_.GetCounter("appends_rejected").Increment(n - i - 1);
+      if (error != nullptr) {
+        *error += " (batch row " + std::to_string(i) + "; prior rows kept)";
+      }
+      return false;
+    }
+  }
   return true;
 }
 
 bool DiscoveryService::Tombstone(int rel, uint32_t row, std::string* error) {
-  if (!live_.Tombstone(rel, row, error)) {
+  if (num_shards() > 1) {
+    if (error != nullptr) {
+      *error = "row ids are shard-local in sharded mode; use TombstoneAt";
+    }
+    metrics_.GetCounter("tombstones_rejected").Increment();
+    return false;
+  }
+  return TombstoneAt(0, rel, row, error);
+}
+
+bool DiscoveryService::TombstoneAt(int shard, int rel, uint32_t row,
+                                   std::string* error) {
+  if (shard < 0 || shard >= num_shards()) {
+    if (error != nullptr) {
+      *error = "no such shard " + std::to_string(shard);
+    }
+    metrics_.GetCounter("tombstones_rejected").Increment();
+    return false;
+  }
+  if (!lives_[shard]->Tombstone(rel, row, error)) {
     metrics_.GetCounter("tombstones_rejected").Increment();
     return false;
   }
@@ -301,16 +444,25 @@ bool DiscoveryService::Tombstone(int rel, uint32_t row, std::string* error) {
   return true;
 }
 
-bool DiscoveryService::Flush(std::string* error) { return live_.Flush(error); }
+bool DiscoveryService::Flush(std::string* error) {
+  for (const auto& live : lives_) {
+    if (!live->Flush(error)) return false;
+  }
+  return true;
+}
 
 bool DiscoveryService::CompactNow(std::string* error, CompactionStats* stats) {
-  CompactionStats local;
-  if (stats == nullptr) stats = &local;
-  if (!live_.Compact(options_.compact_snapshot_path, error, stats)) {
-    metrics_.GetCounter("compactions_failed").Increment();
-    return false;
+  const int n = num_shards();
+  for (int s = 0; s < n; ++s) {
+    CompactionStats local;
+    CompactionStats* out = (stats != nullptr && s == 0) ? stats : &local;
+    if (!lives_[s]->Compact(ShardPath(options_.compact_snapshot_path, s, n),
+                            error, out)) {
+      metrics_.GetCounter("compactions_failed").Increment();
+      return false;
+    }
+    if (out->epoch != 0) RecordCompaction(*out);
   }
-  if (stats->epoch != 0) RecordCompaction(*stats);
   return true;
 }
 
@@ -326,9 +478,9 @@ void DiscoveryService::RecordCompaction(const CompactionStats& stats) {
 
 void DiscoveryService::Shutdown() {
   accepting_.store(false, std::memory_order_release);
-  // Stop the compactor first: a merge mid-teardown would race the pools'
+  // Stop the compactors first: a merge mid-teardown would race the pools'
   // drain (and its epoch publish would be pointless anyway).
-  if (compactor_ != nullptr) compactor_->Stop();
+  for (const auto& compactor : compactors_) compactor->Stop();
   pool_->Shutdown();  // drains queued + in-flight; their promises resolve
   // Only after every request drained: stop the verification workers.
   if (verify_pool_ != nullptr) verify_pool_->Shutdown();
@@ -346,11 +498,20 @@ void DiscoveryService::RefreshGauges() {
                     verify_pool_ == nullptr
                         ? 1.0
                         : static_cast<double>(verify_pool_->num_threads()));
-  metrics_.SetGauge("db_epoch", static_cast<double>(live_.epoch()));
-  metrics_.SetGauge("delta_rows", static_cast<double>(live_.delta_rows()));
-  metrics_.SetGauge("delta_tombstones",
-                    static_cast<double>(live_.tombstones()));
-  metrics_.SetGauge("wal_attached", live_.has_wal() ? 1.0 : 0.0);
+  // Summed across shards (unsharded = the single live database's values).
+  double epoch = 0.0, delta_rows = 0.0, tombstones = 0.0;
+  bool all_wals = true;
+  for (const auto& live : lives_) {
+    epoch += static_cast<double>(live->epoch());
+    delta_rows += static_cast<double>(live->delta_rows());
+    tombstones += static_cast<double>(live->tombstones());
+    all_wals = all_wals && live->has_wal();
+  }
+  metrics_.SetGauge("db_epoch", epoch);
+  metrics_.SetGauge("delta_rows", delta_rows);
+  metrics_.SetGauge("delta_tombstones", tombstones);
+  metrics_.SetGauge("wal_attached", all_wals ? 1.0 : 0.0);
+  metrics_.SetGauge("num_shards", static_cast<double>(num_shards()));
   // 0 = scalar, 1 = sse, 2 = avx2 (KernelLevel enum values) — which SIMD
   // dispatch level the verification hot path runs under.
   metrics_.SetGauge("kernel_level",

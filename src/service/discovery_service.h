@@ -7,6 +7,7 @@
 #include <functional>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -117,6 +118,13 @@ struct ServiceOptions {
   /// Empty = the default 100 µs .. ~100 s exponential ladder. Injectable so
   /// sub-millisecond deployments get resolution instead of one fat bucket.
   std::vector<double> latency_buckets;
+
+  // --- sharded mode (DESIGN.md §15) ----------------------------------------
+
+  /// Routing seed for appends in sharded mode; must equal the partition
+  /// seed the shards were split with so unconstrained rows hash onto the
+  /// same shards their future relatives will.
+  uint64_t shard_seed = 0;
 };
 
 /// Concurrent discovery server: owns the live database (immutable base +
@@ -137,6 +145,15 @@ struct ServiceOptions {
 class DiscoveryService {
  public:
   explicit DiscoveryService(Database db, ServiceOptions options = {});
+
+  /// Sharded mode (DESIGN.md §15): one LiveDatabase per FK-co-located
+  /// shard (from SplitDatabase or a shardset manifest; all sharing one
+  /// catalog). Requests pin every shard's epoch and run the deterministic
+  /// scatter-gather engine (DiscoverQueriesSharded) — results are
+  /// bit-identical to serving the unpartitioned data. Appends route
+  /// through RouteAppend so co-location survives ingestion. A one-element
+  /// vector behaves exactly like the unsharded constructor.
+  DiscoveryService(std::vector<Database> shards, ServiceOptions options);
   ~DiscoveryService();
 
   DiscoveryService(const DiscoveryService&) = delete;
@@ -171,8 +188,14 @@ class DiscoveryService {
   bool AppendBatch(int rel, std::vector<std::vector<Value>> rows,
                    std::string* error);
 
-  /// Deletes the live row with global id `row` of relation `rel`.
+  /// Deletes the live row with global id `row` of relation `rel`. In
+  /// sharded mode row ids are shard-local, so this fails with an error
+  /// directing callers to TombstoneAt.
   bool Tombstone(int rel, uint32_t row, std::string* error);
+
+  /// Sharded-mode tombstone: deletes shard-local row `row` of `rel` in
+  /// shard `shard`. Works unsharded too (shard must be 0).
+  bool TombstoneAt(int shard, int rel, uint32_t row, std::string* error);
 
   /// Fsyncs the WAL; appends are durable after this returns (no-op without
   /// a WAL).
@@ -182,11 +205,14 @@ class DiscoveryService {
   /// snapshot per ServiceOptions::compact_snapshot_path).
   bool CompactNow(std::string* error, CompactionStats* stats = nullptr);
 
-  /// Catalog/data of the currently published epoch. The reference is stable
-  /// until the next compaction swaps the base (fine for single-threaded
-  /// test setup; concurrent readers should Pin via live()).
-  const Database& db() const { return *live_.Pin().base; }
-  LiveDatabase& live() { return live_; }
+  /// Catalog/data of the currently published epoch (shard 0 in sharded
+  /// mode — the catalog is shard-invariant). The reference is stable until
+  /// the next compaction swaps the base (fine for single-threaded test
+  /// setup; concurrent readers should Pin via live()).
+  const Database& db() const { return *lives_[0]->Pin().base; }
+  LiveDatabase& live() { return *lives_[0]; }
+  int num_shards() const { return static_cast<int>(lives_.size()); }
+  LiveDatabase& live_shard(int shard) { return *lives_[shard]; }
   /// Why ServiceOptions::wal_path failed to attach ("" = attached or none).
   const std::string& wal_error() const { return wal_error_; }
   ConcurrentEvalCache& cache() { return cache_; }
@@ -216,9 +242,15 @@ class DiscoveryService {
   /// Latency-histogram bounds: options_.latency_buckets or the default.
   std::vector<double> LatencyBounds() const;
 
-  LiveDatabase live_;
+  // One LiveDatabase per shard (unsharded = one entry); unique_ptr keeps
+  // addresses stable across vector growth during construction.
+  std::vector<std::unique_ptr<LiveDatabase>> lives_;
   ServiceOptions options_;
   std::string wal_error_;
+  // Serializes route-then-append in sharded mode: without it two
+  // concurrent appends of related rows could both route unconstrained and
+  // land on different shards, severing a future join edge.
+  std::mutex route_mu_;
   ConcurrentEvalCache cache_;
   MetricsRegistry metrics_;
   std::atomic<bool> accepting_{true};
@@ -234,8 +266,8 @@ class DiscoveryService {
   // workers running Run) fires first, while they are still alive.
   std::unique_ptr<ThreadPool> pool_;
   // Declared last: stopped/destroyed first so no compaction runs while the
-  // service tears down.
-  std::unique_ptr<Compactor> compactor_;
+  // service tears down. One compactor per shard in sharded mode.
+  std::vector<std::unique_ptr<Compactor>> compactors_;
 };
 
 }  // namespace qbe

@@ -1,5 +1,6 @@
 #include "service/serve_args.h"
 
+#include <cstdint>
 #include <cstdlib>
 
 namespace qbe {
@@ -32,7 +33,9 @@ std::string ServeUsage() {
       "                 [--algorithm "
       "verifyall|simpleprune|filter|filterexact|weave]\n"
       "                 [--metrics-port P] [--trace-sample F]\n"
-      "                 [--slow-query-ms T] [--trace-out FILE.json]\n";
+      "                 [--slow-query-ms T] [--trace-out FILE.json]\n"
+      "                 [--shards N] [--shard-mode hash|range]\n"
+      "                 [--shard-seed S] [--shardset FILE.shardset]\n";
 }
 
 std::optional<Algorithm> ParseAlgorithmName(const std::string& name) {
@@ -123,6 +126,14 @@ ServeArgs ParseServeArgs(int argc, const char* const* argv) {
       args.slow_query_ms = double_value(0.0, 1e9);
     } else if (arg == "--trace-out") {
       if (const char* v = value()) args.trace_out = v;
+    } else if (arg == "--shards") {
+      args.shards = static_cast<int>(long_value(1, 1024));
+    } else if (arg == "--shard-mode") {
+      if (const char* v = value()) args.shard_mode = v;
+    } else if (arg == "--shard-seed") {
+      args.shard_seed = long_value(0, INT64_MAX);
+    } else if (arg == "--shardset") {
+      if (const char* v = value()) args.shardset_path = v;
     } else {
       fail("unknown flag " + arg);
     }
@@ -133,6 +144,12 @@ ServeArgs ParseServeArgs(int argc, const char* const* argv) {
   }
   if (args.ok() && !ParseAlgorithmName(args.algorithm).has_value()) {
     fail("unknown algorithm " + args.algorithm);
+  }
+  if (args.ok() && args.shard_mode != "hash" && args.shard_mode != "range") {
+    fail("unknown shard mode " + args.shard_mode);
+  }
+  if (args.ok() && args.shards > 1 && !args.shardset_path.empty()) {
+    fail("--shards and --shardset are mutually exclusive");
   }
   return args;
 }

@@ -29,6 +29,18 @@ struct ServeArgs {
   int verify_threads = 1;
   std::string algorithm = "filter";
 
+  // --- sharded mode (DESIGN.md §15) ----------------------------------------
+  /// Split the built/generated dataset into this many FK-co-located shards
+  /// at startup (1 = unsharded).
+  int shards = 1;
+  /// Partition mode for --shards: "hash" | "range".
+  std::string shard_mode = "hash";
+  /// Placement-hash seed for --shards (and append routing).
+  long long shard_seed = 0;
+  /// Serve pre-split per-shard snapshots named by a `qbe_shard split`
+  /// manifest instead of splitting at startup. Excludes --shards.
+  std::string shardset_path;
+
   // --- observability (DESIGN.md §13) ---------------------------------------
   /// Loopback HTTP port serving GET /metrics (Prometheus text) and
   /// GET /traces (Chrome trace JSON). < 0 = no endpoint; 0 = ephemeral.

@@ -1,0 +1,90 @@
+#ifndef QBE_SHARD_COORDINATOR_H_
+#define QBE_SHARD_COORDINATOR_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/discovery.h"
+#include "ingest/db_view.h"
+#include "shard/partition.h"
+#include "shard/shard_exec.h"
+
+namespace qbe {
+
+/// Per-request sharded execution diagnostics (metrics/straggler gauges;
+/// never feeds back into outcomes).
+struct ShardStats {
+  std::vector<ShardExecSet::ShardCounters> per_shard;
+  /// max / mean busy_seconds over shards that executed at least one probe;
+  /// 1.0 when perfectly balanced (or nothing ran). The service exports it
+  /// as the straggler gauge.
+  double straggler_ratio = 1.0;
+};
+
+/// Sharded candidate-column retrieval (DESIGN.md §15). The per-cell
+/// "columns containing this value" sets are merged (sorted union) across
+/// shards *before* the over-rows intersection: a column can contain every
+/// cell of an ET column globally while no single shard contains them all,
+/// so per-shard retrieval followed by a column-level merge would
+/// under-report. The per-cell union is exact because cell containment is a
+/// per-row property and rows partition across shards.
+std::vector<std::vector<ColumnRef>> RetrieveCandidateColumnsSharded(
+    const std::vector<DbView>& views, const ExampleTable& et);
+
+std::vector<std::vector<ColumnRef>> RetrieveCandidateColumnsShardedRelaxed(
+    const std::vector<DbView>& views, const ExampleTable& et,
+    int min_row_support);
+
+/// The sharded discovery engine: candidate generation over the merged
+/// per-cell containment sets, verification with every logical existence
+/// query scatter-gathered across shard-local executors in canonical order
+/// (ShardExecSet::Exists), ranking over globally-summed match/live-row
+/// counts. Produces bit-identical SQL sets, scores, matched-row counts and
+/// verification counters to DiscoverQueries on the unpartitioned data —
+/// the deterministic-merge contract the differential suite locks down.
+///
+/// `views` are the shard-local pinned views, which must (a) come from a
+/// FK-co-located partition of one logical database and (b) share its
+/// catalog (SplitDatabase guarantees both). kWeave is rejected: it
+/// materializes tuple trees directly instead of asking existence queries,
+/// so it has no sound scatter-gather form.
+DiscoveryResult DiscoverQueriesSharded(const std::vector<DbView>& views,
+                                       const ExampleTable& et,
+                                       const DiscoveryOptions& options,
+                                       uint64_t data_epoch = 0,
+                                       ShardStats* stats = nullptr);
+
+/// Owning convenience wrapper: holds the shard databases (e.g. from
+/// SplitDatabase or a shardset manifest of per-shard .qbes snapshots) and
+/// runs sharded discovery over them.
+class ShardCoordinator {
+ public:
+  /// Takes ownership of shard-local databases (canonical order = vector
+  /// order). All shards must share one catalog.
+  explicit ShardCoordinator(std::vector<Database> shards);
+
+  /// Opens every snapshot named by the manifest. Returns nullopt with
+  /// `*error` set on open failure or catalog mismatch between shards.
+  static std::optional<ShardCoordinator> Open(const ShardSet& set,
+                                              std::string* error);
+
+  DiscoveryResult Discover(const ExampleTable& et,
+                           const DiscoveryOptions& options,
+                           ShardStats* stats = nullptr) const;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  const Database& shard(int s) const { return *shards_[s]; }
+
+ private:
+  explicit ShardCoordinator(std::vector<std::unique_ptr<Database>> shards)
+      : shards_(std::move(shards)) {}
+
+  // unique_ptr keeps shard addresses stable for the views handed out.
+  std::vector<std::unique_ptr<Database>> shards_;
+};
+
+}  // namespace qbe
+
+#endif  // QBE_SHARD_COORDINATOR_H_

@@ -1,0 +1,63 @@
+#ifndef QBE_TESTS_SHARD_TEST_UTIL_H_
+#define QBE_TESTS_SHARD_TEST_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "storage/database.h"
+#include "util/rng.h"
+
+namespace qbe {
+
+/// A genuinely decomposable schema for the shard tests: Customer ← Order ←
+/// Shipment chains with no shared dimensions, so every customer (plus their
+/// orders and shipments) is its own join component and a partitioner can
+/// actually spread the data. Text is drawn from small shared pools so
+/// phrases recur across components — and, after partitioning, across shards
+/// (candidate retrieval and verification genuinely exercise the merge).
+inline Database MakeShardableDatabase(int customers, int orders_per_customer,
+                                      int shipments_per_order,
+                                      uint64_t seed) {
+  const char* names[] = {"mike", "mary", "bob", "alice", "dave"};
+  const char* cities[] = {"berlin", "tokyo", "lima"};
+  const char* items[] = {"laptop", "tablet", "phone", "camera"};
+  const char* notes[] = {"express", "fragile", "gift"};
+  Rng rng(seed);
+
+  Relation customer("Customer", {{"CustId", ColumnType::kId},
+                                 {"Name", ColumnType::kText},
+                                 {"City", ColumnType::kText}});
+  Relation order("Order", {{"OrderId", ColumnType::kId},
+                           {"CustId", ColumnType::kId},
+                           {"Item", ColumnType::kText}});
+  Relation shipment("Shipment", {{"ShipId", ColumnType::kId},
+                                 {"OrderId", ColumnType::kId},
+                                 {"Note", ColumnType::kText}});
+  int64_t next_order = 0;
+  int64_t next_ship = 0;
+  for (int64_t c = 0; c < customers; ++c) {
+    customer.AppendRow({c, std::string(names[rng.NextBounded(5)]),
+                        std::string(cities[rng.NextBounded(3)])});
+    for (int o = 0; o < orders_per_customer; ++o) {
+      int64_t oid = next_order++;
+      order.AppendRow({oid, c, std::string(items[rng.NextBounded(4)])});
+      for (int s = 0; s < shipments_per_order; ++s) {
+        shipment.AppendRow(
+            {next_ship++, oid, std::string(notes[rng.NextBounded(3)])});
+      }
+    }
+  }
+  Database db;
+  db.AddRelation(std::move(customer));
+  db.AddRelation(std::move(order));
+  db.AddRelation(std::move(shipment));
+  db.AddForeignKey("Order", "CustId", "Customer", "CustId");
+  db.AddForeignKey("Shipment", "OrderId", "Order", "OrderId");
+  db.BuildIndexes();
+  return db;
+}
+
+}  // namespace qbe
+
+#endif  // QBE_TESTS_SHARD_TEST_UTIL_H_

@@ -79,11 +79,15 @@ def main():
     args = parser.parse_args()
     out_path = args.out or os.path.join(args.results_dir,
                                         "BENCH_TRAJECTORY.json")
+    if not os.path.isdir(args.results_dir):
+        # A fresh checkout has no results yet; still write a valid (empty)
+        # trajectory so downstream chart tooling always has a file to read.
+        print(f"warning: no results dir {args.results_dir}", file=sys.stderr)
     trajectory = fold(args.results_dir)
     if not trajectory["entries"]:
-        print(f"no BENCH_PR*.json found under {args.results_dir}",
-              file=sys.stderr)
-        return 1
+        print(f"warning: no BENCH_PR*.json found under {args.results_dir}; "
+              "writing an empty trajectory", file=sys.stderr)
+    os.makedirs(os.path.dirname(out_path) or ".", exist_ok=True)
     with open(out_path, "w") as f:
         json.dump(trajectory, f, indent=2, sort_keys=True)
         f.write("\n")

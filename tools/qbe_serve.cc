@@ -10,6 +10,14 @@
 //             [--timeout-ms T] [--algorithm verifyall|simpleprune|filter|weave]
 //             [--metrics-port P] [--trace-sample F] [--slow-query-ms T]
 //             [--trace-out FILE.json]
+//             [--shards N] [--shard-mode hash|range] [--shard-seed S]
+//             [--shardset FILE.shardset]
+//
+// Sharded mode (DESIGN.md §15): --shards N splits the built dataset into N
+// FK-co-located shards at startup; --shardset serves pre-split per-shard
+// snapshots written by `qbe_shard split`. Discovery results are
+// bit-identical to unsharded serving; appends route to the shard holding
+// their FK relatives (cross-shard conflicts are rejected).
 //
 // Flags are strict: an unknown flag or a missing/out-of-range value is
 // rejected with a message naming it (see service/serve_args.h).
@@ -59,6 +67,7 @@
 #include "schema/schema_graph.h"
 #include "service/discovery_service.h"
 #include "service/serve_args.h"
+#include "shard/partition.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
 
@@ -201,18 +210,65 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Sharded startup: split the in-memory database now, or open per-shard
+  // snapshots named by a qbe_shard manifest. Either way the service gets a
+  // vector of FK-co-located shard databases.
+  std::vector<qbe::Database> shard_dbs;
+  if (!args.shardset_path.empty()) {
+    std::string shard_error;
+    std::optional<qbe::ShardSet> set =
+        qbe::ReadShardSet(args.shardset_path, &shard_error);
+    if (!set.has_value()) {
+      std::fprintf(stderr, "qbe_serve: %s\n", shard_error.c_str());
+      return 1;
+    }
+    for (const std::string& path : set->paths) {
+      std::optional<qbe::Database> shard =
+          qbe::Database::OpenSnapshot(path, &shard_error);
+      if (!shard.has_value()) {
+        std::fprintf(stderr, "qbe_serve: %s: %s\n", path.c_str(),
+                     shard_error.c_str());
+        return 1;
+      }
+      shard_dbs.push_back(std::move(*shard));
+    }
+    service_options.shard_seed = set->seed;
+    std::printf("shardset %s: %d shards (%s)\n", args.shardset_path.c_str(),
+                set->num_shards(), qbe::PartitionModeName(set->mode));
+  } else if (args.shards > 1) {
+    qbe::PartitionOptions poptions;
+    poptions.num_shards = args.shards;
+    poptions.mode = *qbe::ParsePartitionMode(args.shard_mode);
+    poptions.seed = static_cast<uint64_t>(args.shard_seed);
+    qbe::PartitionPlan plan = qbe::ComputePartitionPlan(db, poptions);
+    shard_dbs = qbe::SplitDatabase(db, plan);
+    service_options.shard_seed = poptions.seed;
+    std::printf("sharded %s into %d shards (%s): rows per shard [",
+                args.dataset.c_str(), args.shards, args.shard_mode.c_str());
+    const std::vector<uint64_t> rows = plan.RowsPerShard();
+    for (size_t s = 0; s < rows.size(); ++s) {
+      std::printf("%s%llu", s == 0 ? "" : " ",
+                  static_cast<unsigned long long>(rows[s]));
+    }
+    std::printf("]\n");
+  } else {
+    shard_dbs.push_back(std::move(db));
+  }
+
   // Catalog sketch for synthetic appends, captured before the move: the
   // base reference behind service.db() is not stable across compactions.
+  // Read from the data actually served (a shardset's catalog can differ
+  // from the generated dataset's).
   std::vector<std::vector<qbe::ColumnType>> append_schema;
-  for (int rel = 0; rel < db.num_relations(); ++rel) {
+  for (int rel = 0; rel < shard_dbs[0].num_relations(); ++rel) {
     std::vector<qbe::ColumnType> cols;
-    for (const auto& def : db.relation(rel).columns()) {
+    for (const auto& def : shard_dbs[0].relation(rel).columns()) {
       cols.push_back(def.type);
     }
     append_schema.push_back(std::move(cols));
   }
 
-  qbe::DiscoveryService service(std::move(db), service_options);
+  qbe::DiscoveryService service(std::move(shard_dbs), service_options);
   if (!service.wal_error().empty()) {
     std::fprintf(stderr, "warning: WAL not attached: %s\n",
                  service.wal_error().c_str());
@@ -326,12 +382,17 @@ int main(int argc, char** argv) {
       static_cast<long long>(ok), static_cast<long long>(rejected),
       static_cast<long long>(timed_out), static_cast<long long>(other));
   if (args.append_mix > 0) {
+    unsigned long long epoch_sum = 0;
+    size_t overlay_rows = 0;
+    for (int s = 0; s < service.num_shards(); ++s) {
+      epoch_sum += service.live_shard(s).epoch();
+      overlay_rows += service.live_shard(s).delta_rows();
+    }
     std::printf("appended %lld rows (%lld rejected), final epoch %llu, "
                 "%zu overlay rows\n",
                 static_cast<long long>(appended),
-                static_cast<long long>(append_failed),
-                static_cast<unsigned long long>(service.live().epoch()),
-                service.live().delta_rows());
+                static_cast<long long>(append_failed), epoch_sum,
+                overlay_rows);
   }
   std::printf("%s", service.MetricsDump().c_str());
   return 0;

@@ -1,0 +1,231 @@
+// qbe_shard — split a database into FK-co-located shard snapshots and
+// inspect shardset manifests (DESIGN.md §15).
+//
+//   qbe_shard split --dataset retailer|imdb|cust [--scale S] [--seed N]
+//                   --shards N [--mode hash|range] [--shard-seed S]
+//                   --out PREFIX
+//   qbe_shard split --db DIR | --snapshot FILE.qbes ... (same options)
+//   qbe_shard info --shardset FILE.shardset
+//
+// `split` computes the join-component partition (union-find over every FK
+// edge; whole components are indivisible), writes one `.qbes` snapshot per
+// shard (PREFIX.shard<k>.qbes), and a `PREFIX.shardset` manifest that
+// `qbe_serve --shardset` consumes. It prints the per-shard row counts so
+// skew (e.g. a schema that collapses into one giant join component) is
+// visible at split time rather than at serve time.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "datagen/cust_like.h"
+#include "datagen/imdb_like.h"
+#include "datagen/retailer.h"
+#include "shard/partition.h"
+#include "snapshot/snapshot.h"
+#include "storage/catalog_io.h"
+#include "storage/database.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+void PrintUsage() {
+  std::fprintf(
+      stderr,
+      "usage: qbe_shard split --dataset retailer|imdb|cust [--scale S]\n"
+      "                       [--seed N] --shards N [--mode hash|range]\n"
+      "                       [--shard-seed S] --out PREFIX\n"
+      "       qbe_shard split --db DIR | --snapshot FILE.qbes "
+      "(same options)\n"
+      "       qbe_shard info --shardset FILE.shardset\n");
+}
+
+int Split(int argc, char** argv) {
+  std::string db_dir;
+  std::string dataset;
+  std::string snapshot_path;
+  std::string out_prefix;
+  std::string mode_name = "hash";
+  double scale = 0.1;
+  uint64_t seed = 20140622;
+  uint64_t shard_seed = 0;
+  int shards = 0;
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--db") {
+      if (const char* v = next()) db_dir = v;
+    } else if (arg == "--dataset") {
+      if (const char* v = next()) dataset = v;
+    } else if (arg == "--snapshot") {
+      if (const char* v = next()) snapshot_path = v;
+    } else if (arg == "--out") {
+      if (const char* v = next()) out_prefix = v;
+    } else if (arg == "--scale") {
+      if (const char* v = next()) scale = std::atof(v);
+    } else if (arg == "--seed") {
+      if (const char* v = next()) seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--shard-seed") {
+      if (const char* v = next()) shard_seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--shards") {
+      if (const char* v = next()) shards = std::atoi(v);
+    } else if (arg == "--mode") {
+      if (const char* v = next()) mode_name = v;
+    } else {
+      PrintUsage();
+      return 2;
+    }
+  }
+  const int sources = (!db_dir.empty() ? 1 : 0) + (!dataset.empty() ? 1 : 0) +
+                      (!snapshot_path.empty() ? 1 : 0);
+  if (out_prefix.empty() || sources != 1 || shards < 1 || shards > 1024) {
+    std::fprintf(stderr,
+                 "split needs --out, --shards in [1,1024] and exactly one "
+                 "of --db / --dataset / --snapshot\n");
+    return 2;
+  }
+  std::optional<qbe::PartitionMode> mode = qbe::ParsePartitionMode(mode_name);
+  if (!mode.has_value()) {
+    std::fprintf(stderr, "unknown mode %s\n", mode_name.c_str());
+    return 2;
+  }
+
+  qbe::Stopwatch build_timer;
+  std::optional<qbe::Database> db;
+  std::string error;
+  if (!db_dir.empty()) {
+    db = qbe::LoadDatabase(db_dir, &error);
+  } else if (!snapshot_path.empty()) {
+    db = qbe::Database::OpenSnapshot(snapshot_path, &error);
+  } else if (dataset == "retailer") {
+    db = qbe::MakeRetailerDatabase();
+  } else if (dataset == "imdb") {
+    db = qbe::MakeImdbLikeDatabase({scale, seed});
+  } else if (dataset == "cust") {
+    qbe::CustConfig config;
+    config.scale = scale;
+    config.seed = seed;
+    db = qbe::MakeCustLikeDatabase(config);
+  } else {
+    std::fprintf(stderr, "unknown dataset %s\n", dataset.c_str());
+    return 2;
+  }
+  if (!db.has_value()) {
+    std::fprintf(stderr, "failed to load database: %s\n", error.c_str());
+    return 1;
+  }
+
+  qbe::PartitionOptions options;
+  options.num_shards = shards;
+  options.mode = *mode;
+  options.seed = shard_seed;
+  qbe::Stopwatch split_timer;
+  qbe::PartitionPlan plan = qbe::ComputePartitionPlan(*db, options);
+  std::vector<qbe::Database> shard_dbs = qbe::SplitDatabase(*db, plan);
+  const double split_seconds = split_timer.ElapsedSeconds();
+
+  // Skew report: per-shard row totals plus the max/mean ratio (1.0 =
+  // perfectly balanced; one giant join component shows up as N here).
+  const std::vector<uint64_t> rows = plan.RowsPerShard();
+  uint64_t total = 0, max_rows = 0;
+  for (uint64_t n : rows) {
+    total += n;
+    if (n > max_rows) max_rows = n;
+  }
+  std::printf("partitioned %llu rows into %d shards (%s): [",
+              static_cast<unsigned long long>(total), shards,
+              qbe::PartitionModeName(*mode));
+  for (size_t s = 0; s < rows.size(); ++s) {
+    std::printf("%s%llu", s == 0 ? "" : " ",
+                static_cast<unsigned long long>(rows[s]));
+  }
+  const double mean =
+      rows.empty() ? 0.0 : static_cast<double>(total) / rows.size();
+  std::printf("], skew %.2f\n",
+              mean > 0.0 ? static_cast<double>(max_rows) / mean : 1.0);
+
+  qbe::ShardSet set;
+  set.mode = *mode;
+  set.seed = shard_seed;
+  qbe::Stopwatch write_timer;
+  for (int s = 0; s < shards; ++s) {
+    const std::string path =
+        out_prefix + ".shard" + std::to_string(s) + ".qbes";
+    if (!qbe::WriteSnapshot(shard_dbs[s], path, &error)) {
+      std::fprintf(stderr, "snapshot write failed: %s: %s\n", path.c_str(),
+                   error.c_str());
+      return 1;
+    }
+    set.paths.push_back(path);
+  }
+  const std::string manifest = out_prefix + ".shardset";
+  if (!qbe::WriteShardSet(manifest, set, &error)) {
+    std::fprintf(stderr, "manifest write failed: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf(
+      "wrote %d shard snapshots + %s "
+      "(build %.3fs, partition %.3fs, write %.3fs)\n",
+      shards, manifest.c_str(), build_timer.ElapsedSeconds() - split_seconds,
+      split_seconds, write_timer.ElapsedSeconds());
+  std::printf("serve with: qbe_serve --shardset %s\n", manifest.c_str());
+  return 0;
+}
+
+int Info(int argc, char** argv) {
+  std::string manifest;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--shardset") == 0 && i + 1 < argc) {
+      manifest = argv[++i];
+    } else {
+      PrintUsage();
+      return 2;
+    }
+  }
+  if (manifest.empty()) {
+    PrintUsage();
+    return 2;
+  }
+  std::string error;
+  std::optional<qbe::ShardSet> set = qbe::ReadShardSet(manifest, &error);
+  if (!set.has_value()) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  std::printf("%s: %d shards, mode %s, seed %llu\n", manifest.c_str(),
+              set->num_shards(), qbe::PartitionModeName(set->mode),
+              static_cast<unsigned long long>(set->seed));
+  for (int s = 0; s < set->num_shards(); ++s) {
+    const std::string& path = set->paths[s];
+    std::optional<qbe::SnapshotFileInfo> info =
+        qbe::ReadSnapshotInfo(path, &error);
+    if (!info.has_value()) {
+      std::printf("  shard %d: %s (unreadable: %s)\n", s, path.c_str(),
+                  error.c_str());
+      continue;
+    }
+    std::printf("  shard %d: %s (%.1f MB, %zu sections)\n", s, path.c_str(),
+                static_cast<double>(info->file_bytes) / 1e6,
+                info->sections.size());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    PrintUsage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  if (command == "split") return Split(argc - 2, argv + 2);
+  if (command == "info") return Info(argc - 2, argv + 2);
+  PrintUsage();
+  return 2;
+}
