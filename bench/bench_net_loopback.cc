@@ -1,0 +1,281 @@
+// Networked-serving overhead bench (DESIGN.md §16): the same sequential ET
+// workload replayed (a) directly against a DiscoveryService and (b) through
+// the full wire path — NetClient → loopback TCP → epoll NetServer → the
+// service — on fresh, identically-configured services. Sequential replay
+// keeps the shared eval cache's history identical on both sides, so every
+// networked response is QBE_CHECKed bit-identical (SQL, scores, matched
+// rows, verification counters) to its in-process twin; the table is then
+// pure wire overhead: framing + checksum + two loopback hops per request.
+// A pipelined pass (depth 4) shows how much of that per-request overhead
+// keep-alive pipelining hides.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+#include "datagen/et_gen.h"
+#include "datagen/imdb_like.h"
+#include "exec/executor.h"
+#include "harness/experiment.h"
+#include "harness/table_printer.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/wire.h"
+#include "schema/schema_graph.h"
+#include "service/discovery_service.h"
+#include "storage/database.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace qbe {
+namespace {
+
+constexpr int kRepeat = 8;
+constexpr int kPipelineDepth = 4;
+
+/// The deterministic projection of a response — everything except wall
+/// times. The direct and networked replays must agree on every field.
+struct ResultKey {
+  std::string status;
+  std::vector<std::string> sql;
+  std::vector<double> scores;
+  std::vector<uint32_t> matched;
+  uint64_t num_candidates = 0;
+  int64_t verifications = 0;
+
+  bool operator==(const ResultKey& other) const {
+    return status == other.status && sql == other.sql &&
+           scores == other.scores && matched == other.matched &&
+           num_candidates == other.num_candidates &&
+           verifications == other.verifications;
+  }
+};
+
+ResultKey KeyOf(const ServiceResponse& response) {
+  ResultKey key;
+  key.status = ToString(response.status);
+  for (const DiscoveredQuery& q : response.result.queries) {
+    key.sql.push_back(q.sql);
+    key.scores.push_back(q.score);
+    key.matched.push_back(static_cast<uint32_t>(q.matched_rows));
+  }
+  key.num_candidates = response.result.num_candidates;
+  key.verifications = response.result.counters.verifications;
+  return key;
+}
+
+ResultKey KeyOf(const WireResponse& response) {
+  ResultKey key;
+  key.status = response.status;
+  for (const WireQuery& q : response.queries) {
+    key.sql.push_back(q.sql);
+    key.scores.push_back(q.score);
+    key.matched.push_back(q.matched_rows);
+  }
+  key.num_candidates = response.num_candidates;
+  key.verifications = response.verifications;
+  return key;
+}
+
+ServiceOptions BenchServiceOptions() {
+  ServiceOptions options;
+  options.num_workers = 2;
+  return options;
+}
+
+struct LatencySummary {
+  double seconds = 0;  // total wall
+  double p50 = 0;
+  double p99 = 0;
+  double mean = 0;
+};
+
+LatencySummary Summarize(std::vector<double> latencies, double wall) {
+  LatencySummary s;
+  s.seconds = wall;
+  if (latencies.empty()) return s;
+  std::sort(latencies.begin(), latencies.end());
+  auto quantile = [&](double q) {
+    size_t idx = static_cast<size_t>(q * (latencies.size() - 1));
+    return latencies[idx];
+  };
+  s.p50 = quantile(0.5);
+  s.p99 = quantile(0.99);
+  double sum = 0;
+  for (double v : latencies) sum += v;
+  s.mean = sum / static_cast<double>(latencies.size());
+  return s;
+}
+
+void Run(const BenchArgs& args) {
+  ImdbConfig config;
+  config.scale = args.scale;
+  config.seed = args.seed;
+  std::vector<ExampleTable> workload;
+  {
+    Database db = MakeImdbLikeDatabase(config);
+    SchemaGraph graph(db);
+    Executor exec(db, graph);
+    EtSource source(db, graph, exec, args.seed);
+    EtParams params;  // Table 3 defaults
+    workload = source.SampleMany(params, args.ets_per_point, args.seed);
+  }
+  std::printf(
+      "Networked serving overhead: %zu ETs x%d sequential over the "
+      "IMDB-like dataset (scale %.2f), in-process vs loopback wire\n",
+      workload.size(), kRepeat, args.scale);
+
+  // Pass 1: direct. Per-request latencies plus the per-call ResultKey that
+  // the networked pass must reproduce bit-for-bit.
+  std::vector<ResultKey> expected;
+  std::vector<double> direct_latencies;
+  double direct_wall = 0;
+  {
+    DiscoveryService direct(MakeImdbLikeDatabase(config),
+                            BenchServiceOptions());
+    Stopwatch wall;
+    for (int r = 0; r < kRepeat; ++r) {
+      for (const ExampleTable& et : workload) {
+        Stopwatch sw;
+        ServiceResponse response = direct.Discover(et);
+        direct_latencies.push_back(sw.ElapsedSeconds());
+        expected.push_back(KeyOf(response));
+      }
+    }
+    direct_wall = wall.ElapsedSeconds();
+  }
+
+  // Pass 2: networked, one request at a time (call/response). Same request
+  // order on a fresh service, so cache history — and with it verification
+  // counts — must match exactly.
+  std::vector<double> net_latencies;
+  double net_wall = 0;
+  {
+    DiscoveryService served(MakeImdbLikeDatabase(config),
+                            BenchServiceOptions());
+    NetServer server(&served);
+    QBE_CHECK_MSG(server.ok(), "net server failed to start");
+    NetClient client("127.0.0.1", server.port());
+    QBE_CHECK_MSG(client.ok(), "net client failed to connect");
+    Stopwatch wall;
+    size_t op = 0;
+    for (int r = 0; r < kRepeat; ++r) {
+      for (const ExampleTable& et : workload) {
+        WireRequest request = WireRequest::FromExampleTable(et, /*id=*/op + 1);
+        ClientReply reply;
+        Stopwatch sw;
+        QBE_CHECK_MSG(client.Call(request, &reply), "wire call failed");
+        net_latencies.push_back(sw.ElapsedSeconds());
+        QBE_CHECK_MSG(!reply.is_error, "wire call returned a typed error");
+        QBE_CHECK_MSG(KeyOf(reply.response) == expected[op],
+                      "networked response differs from in-process response");
+        ++op;
+      }
+    }
+    net_wall = wall.ElapsedSeconds();
+    server.Stop();
+  }
+
+  // Pass 3: networked with keep-alive pipelining (depth 4) on one
+  // connection — amortizes the round trip; latencies here are
+  // send-to-receive and overlap, so only throughput is comparable.
+  double pipelined_wall = 0;
+  size_t pipelined_ops = 0;
+  {
+    DiscoveryService served(MakeImdbLikeDatabase(config),
+                            BenchServiceOptions());
+    NetServer server(&served);
+    QBE_CHECK_MSG(server.ok(), "net server failed to start");
+    NetClient client("127.0.0.1", server.port());
+    QBE_CHECK_MSG(client.ok(), "net client failed to connect");
+    Stopwatch wall;
+    size_t sent = 0;
+    size_t received = 0;
+    const size_t total = workload.size() * kRepeat;
+    while (received < total) {
+      while (sent < total &&
+             sent - received < static_cast<size_t>(kPipelineDepth)) {
+        WireRequest request = WireRequest::FromExampleTable(
+            workload[sent % workload.size()], /*id=*/sent + 1);
+        QBE_CHECK_MSG(client.Send(request), "pipelined send failed");
+        ++sent;
+      }
+      ClientReply reply;
+      QBE_CHECK_MSG(client.Receive(&reply), "pipelined receive failed");
+      QBE_CHECK_MSG(!reply.is_error, "pipelined call returned an error");
+      ++received;
+    }
+    pipelined_wall = wall.ElapsedSeconds();
+    pipelined_ops = total;
+    server.Stop();
+  }
+
+  LatencySummary direct = Summarize(std::move(direct_latencies), direct_wall);
+  LatencySummary net = Summarize(std::move(net_latencies), net_wall);
+  const double total_ops =
+      static_cast<double>(workload.size()) * kRepeat;
+
+  TablePrinter table({"mode", "wall(s)", "req/s", "p50(s)", "p99(s)",
+                      "mean(s)", "p50 vs direct"});
+  table.AddRow({"in-process", FormatDouble(direct.seconds, 3),
+                FormatDouble(total_ops / direct.seconds, 1),
+                FormatDouble(direct.p50, 6), FormatDouble(direct.p99, 6),
+                FormatDouble(direct.mean, 6), "1.000x"});
+  table.AddRow(
+      {"wire call/response", FormatDouble(net.seconds, 3),
+       FormatDouble(total_ops / net.seconds, 1), FormatDouble(net.p50, 6),
+       FormatDouble(net.p99, 6), FormatDouble(net.mean, 6),
+       direct.p50 > 0 ? FormatDouble(net.p50 / direct.p50, 3) + "x" : "n/a"});
+  table.AddRow({"wire pipelined x" + std::to_string(kPipelineDepth),
+                FormatDouble(pipelined_wall, 3),
+                FormatDouble(static_cast<double>(pipelined_ops) /
+                                 pipelined_wall,
+                             1),
+                "n/a", "n/a", "n/a", "n/a"});
+  table.Print(std::cout);
+  std::printf("(all %zu networked responses checked bit-identical to their "
+              "in-process twins)\n",
+              static_cast<size_t>(total_ops));
+
+  if (!args.json_path.empty()) {
+    std::ofstream json(args.json_path);
+    QBE_CHECK_MSG(static_cast<bool>(json), "cannot open --json path");
+    json << "{\n"
+         << "  \"bench\": \"net_loopback_overhead\",\n"
+         << "  \"scale\": " << args.scale << ",\n"
+         << "  \"ets\": " << workload.size() << ",\n"
+         << "  \"repeat\": " << kRepeat << ",\n"
+         << "  \"bit_identical\": true,\n"
+         << "  \"direct_p50_s\": " << direct.p50 << ",\n"
+         << "  \"direct_p99_s\": " << direct.p99 << ",\n"
+         << "  \"direct_req_per_s\": " << total_ops / direct.seconds << ",\n"
+         << "  \"net_p50_s\": " << net.p50 << ",\n"
+         << "  \"net_p99_s\": " << net.p99 << ",\n"
+         << "  \"net_req_per_s\": " << total_ops / net.seconds << ",\n"
+         << "  \"net_overhead_p50_s\": " << net.p50 - direct.p50 << ",\n"
+         << "  \"net_over_direct_p50\": "
+         << (direct.p50 > 0 ? net.p50 / direct.p50 : 0.0) << ",\n"
+         << "  \"pipelined_depth\": " << kPipelineDepth << ",\n"
+         << "  \"pipelined_req_per_s\": "
+         << static_cast<double>(pipelined_ops) / pipelined_wall << "\n"
+         << "}\n";
+    std::printf("wrote %s\n", args.json_path.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace qbe
+
+int main(int argc, char** argv) {
+  qbe::BenchArgs args =
+      qbe::ParseBenchArgs(argc, argv, /*default_ets=*/10,
+                          /*default_scale=*/0.2);
+  qbe::Run(args);
+  return 0;
+}

@@ -1,0 +1,149 @@
+#include "net/client.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/socket.h"
+
+namespace qbe {
+
+NetClient::NetClient(const std::string& host, uint16_t port) {
+  fd_ = ConnectTcp(host, port, &error_);
+}
+
+NetClient::~NetClient() { Close(); }
+
+void NetClient::Close() { CloseFd(&fd_); }
+
+bool NetClient::Call(const WireRequest& request, ClientReply* reply) {
+  return Send(request) && Receive(reply);
+}
+
+bool NetClient::Send(const WireRequest& request) {
+  if (!ok()) return false;
+  std::string frame;
+  EncodeRequestFrame(request, &frame);
+  if (!WriteAll(fd_, frame.data(), frame.size())) {
+    error_ = std::string("send: ") + std::strerror(errno);
+    Close();
+    return false;
+  }
+  return true;
+}
+
+bool NetClient::ReadFrame(FrameView* frame) {
+  for (;;) {
+    WireFault fault = WireFault::kNone;
+    std::string detail;
+    FrameStatus status =
+        TryExtractFrame(buffer_.data() + consumed_, buffer_.size() - consumed_,
+                        frame, &fault, &detail);
+    if (status == FrameStatus::kFrame) return true;
+    if (status == FrameStatus::kFault) {
+      error_ = "corrupt frame from server (" +
+               std::string(WireFaultName(fault)) + "): " + detail;
+      Close();
+      return false;
+    }
+    // Incomplete: first reclaim the consumed prefix, then block for more.
+    if (consumed_ > 0) {
+      buffer_.erase(0, consumed_);
+      consumed_ = 0;
+    }
+    char chunk[64 * 1024];
+    ssize_t n = ReadRetry(fd_, chunk, sizeof(chunk));
+    if (n > 0) {
+      buffer_.append(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    error_ = n == 0 ? "connection closed by server"
+                    : std::string("recv: ") + std::strerror(errno);
+    Close();
+    return false;
+  }
+}
+
+bool NetClient::DecodeReply(const FrameView& frame, ClientReply* reply) {
+  bool decoded = false;
+  std::string decode_error;
+  if (frame.type == WireType::kDiscoverResponse) {
+    reply->is_error = false;
+    decoded = DecodeResponsePayload(frame.payload, frame.payload_bytes,
+                                    &reply->response, &decode_error);
+  } else if (frame.type == WireType::kError) {
+    reply->is_error = true;
+    decoded = DecodeErrorPayload(frame.payload, frame.payload_bytes,
+                                 &reply->error, &decode_error);
+  } else {
+    decode_error = "unexpected frame type from server";
+  }
+  consumed_ += frame.frame_bytes;
+  if (consumed_ == buffer_.size()) {
+    buffer_.clear();
+    consumed_ = 0;
+  }
+  if (!decoded) {
+    error_ = "undecodable frame from server: " + decode_error;
+    Close();
+    return false;
+  }
+  return true;
+}
+
+bool NetClient::Receive(ClientReply* reply) {
+  if (!ok()) return false;
+  FrameView frame;
+  if (!ReadFrame(&frame)) return false;
+  return DecodeReply(frame, reply);
+}
+
+bool NetClient::TryReceive(ClientReply* reply, bool* got, int wait_ms) {
+  *got = false;
+  if (!ok()) return false;
+  for (;;) {
+    FrameView frame;
+    WireFault fault = WireFault::kNone;
+    std::string detail;
+    FrameStatus status =
+        TryExtractFrame(buffer_.data() + consumed_, buffer_.size() - consumed_,
+                        &frame, &fault, &detail);
+    if (status == FrameStatus::kFrame) {
+      if (!DecodeReply(frame, reply)) return false;
+      *got = true;
+      return true;
+    }
+    if (status == FrameStatus::kFault) {
+      error_ = "corrupt frame from server (" +
+               std::string(WireFaultName(fault)) + "): " + detail;
+      Close();
+      return false;
+    }
+    // Incomplete: wait for readability at most once, then only drain what
+    // is already pending (poll 0), so a partial frame never blocks us.
+    pollfd pfd{fd_, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, wait_ms);
+    wait_ms = 0;
+    if (ready < 0 && errno == EINTR) continue;
+    if (ready <= 0) return true;  // nothing (more) available: *got stays false
+    if (consumed_ > 0) {
+      buffer_.erase(0, consumed_);
+      consumed_ = 0;
+    }
+    char chunk[64 * 1024];
+    ssize_t n = ReadRetry(fd_, chunk, sizeof(chunk));
+    if (n > 0) {
+      buffer_.append(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    error_ = n == 0 ? "connection closed by server"
+                    : std::string("recv: ") + std::strerror(errno);
+    Close();
+    return false;
+  }
+}
+
+}  // namespace qbe

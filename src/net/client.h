@@ -1,0 +1,74 @@
+#ifndef QBE_NET_CLIENT_H_
+#define QBE_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "net/wire.h"
+
+namespace qbe {
+
+/// What one wire exchange produced: either a discovery response or a typed
+/// protocol error frame from the server.
+struct ClientReply {
+  bool is_error = false;
+  WireResponse response;  // valid when !is_error
+  WireErrorMsg error;     // valid when is_error
+};
+
+/// Blocking client for the wire protocol (DESIGN.md §16). One TCP
+/// connection, two usage styles:
+///
+///  - request/response: Call() sends one request and waits for its reply;
+///  - pipelined: any number of Send() calls followed by matching Receive()
+///    calls — the server guarantees replies come back in request order, so
+///    the k-th Receive answers the k-th Send.
+///
+/// Not thread-safe; one NetClient per thread. After any method returns
+/// false the connection is dead (error() says why) and the client must be
+/// discarded — the stream position can no longer be trusted.
+class NetClient {
+ public:
+  /// Connects (blocking) to host:port. Check ok() before use.
+  NetClient(const std::string& host, uint16_t port);
+  ~NetClient();
+
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+
+  bool ok() const { return fd_ >= 0 && error_.empty(); }
+  const std::string& error() const { return error_; }
+
+  /// One blocking round trip: Send + Receive.
+  bool Call(const WireRequest& request, ClientReply* reply);
+
+  /// Writes one encoded request frame to the socket (blocking, complete).
+  bool Send(const WireRequest& request);
+
+  /// Blocks until the next complete frame arrives and decodes it. Returns
+  /// false on socket EOF/error or an undecodable/corrupt frame.
+  bool Receive(ClientReply* reply);
+
+  /// Bounded-wait receive for open-loop pacing: delivers a reply if a
+  /// complete frame is buffered or arrives within `wait_ms` (0 = poll).
+  /// Sets *got=false — not an error — when none is available in time.
+  /// Returns false only on socket EOF/error or a corrupt frame.
+  bool TryReceive(ClientReply* reply, bool* got, int wait_ms = 0);
+
+  void Close();
+
+ private:
+  /// Extracts one frame from buffer_ if complete; reads more otherwise.
+  bool ReadFrame(FrameView* frame);
+  /// Decodes an extracted frame into *reply and consumes its bytes.
+  bool DecodeReply(const FrameView& frame, ClientReply* reply);
+
+  int fd_ = -1;
+  std::string error_;
+  std::string buffer_;   // received-but-unconsumed bytes
+  size_t consumed_ = 0;  // prefix of buffer_ already handed out
+};
+
+}  // namespace qbe
+
+#endif  // QBE_NET_CLIENT_H_

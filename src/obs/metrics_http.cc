@@ -1,45 +1,28 @@
 #include "obs/metrics_http.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
 #include <poll.h>
-#include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
 #include <utility>
 
+#include "util/socket.h"
+
 namespace qbe {
 
 MetricsHttpServer::MetricsHttpServer(uint16_t port, Handler handler)
     : handler_(std::move(handler)) {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
-    error_ = std::string("socket: ") + std::strerror(errno);
+  ListenSocket listener = OpenLoopbackListener(port, /*backlog=*/16);
+  if (!listener.ok()) {
+    error_ = listener.error;
     return;
   }
-  int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-      0) {
-    error_ = std::string("bind 127.0.0.1:") + std::to_string(port) + ": " +
-             std::strerror(errno);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return;
-  }
-  socklen_t len = sizeof(addr);
-  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
-  port_ = ntohs(addr.sin_port);
-  if (::listen(listen_fd_, 16) < 0 || ::pipe(stop_pipe_) < 0) {
-    error_ = std::string("listen: ") + std::strerror(errno);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  listen_fd_ = listener.fd;
+  port_ = listener.port;
+  if (::pipe(stop_pipe_) < 0) {
+    error_ = std::string("pipe: ") + std::strerror(errno);
+    CloseFd(&listen_fd_);
     return;
   }
   thread_ = std::thread([this] { Serve(); });
@@ -53,12 +36,9 @@ void MetricsHttpServer::Stop() {
     [[maybe_unused]] ssize_t n = ::write(stop_pipe_[1], &byte, 1);
     thread_.join();
   }
-  for (int* fd : {&listen_fd_, &stop_pipe_[0], &stop_pipe_[1]}) {
-    if (*fd >= 0) {
-      ::close(*fd);
-      *fd = -1;
-    }
-  }
+  CloseFd(&listen_fd_);
+  CloseFd(&stop_pipe_[0]);
+  CloseFd(&stop_pipe_[1]);
 }
 
 void MetricsHttpServer::Serve() {
@@ -70,12 +50,12 @@ void MetricsHttpServer::Serve() {
     }
     if (fds[1].revents != 0) return;  // Stop() requested
     if ((fds[0].revents & POLLIN) == 0) continue;
-    int client = ::accept(listen_fd_, nullptr, nullptr);
+    int client = AcceptRetry(listen_fd_);
     if (client < 0) continue;
     // One short read covers any sane "GET /path HTTP/1.1" request line;
     // this exporter never parses bodies or headers.
     char buf[2048];
-    ssize_t n = ::read(client, buf, sizeof(buf) - 1);
+    ssize_t n = ReadRetry(client, buf, sizeof(buf) - 1);
     std::string response;
     if (n > 0) {
       buf[n] = '\0';
@@ -98,13 +78,9 @@ void MetricsHttpServer::Serve() {
                    "\r\nConnection: close\r\n\r\n" + body;
       }
     }
-    size_t sent = 0;
-    while (sent < response.size()) {
-      ssize_t w = ::write(client, response.data() + sent,
-                          response.size() - sent);
-      if (w <= 0) break;
-      sent += static_cast<size_t>(w);
-    }
+    // WriteAll retries EINTR and short writes — a multi-MB /metrics body
+    // no longer truncates at the first partial write.
+    WriteAll(client, response.data(), response.size());
     ::close(client);
   }
 }

@@ -66,6 +66,8 @@ const char* SpanKindName(SpanKind kind) {
     case SpanKind::kWalAppend: return "wal_append";
     case SpanKind::kWalReplay: return "wal_replay";
     case SpanKind::kCompaction: return "compaction";
+    case SpanKind::kNetRead: return "net_read";
+    case SpanKind::kNetWrite: return "net_write";
     case SpanKind::kNumKinds: break;
   }
   return "unknown";

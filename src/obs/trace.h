@@ -53,6 +53,8 @@ enum class SpanKind : uint8_t {
   kWalAppend,        // ingest: one WAL-logged mutation commit
   kWalReplay,        // ingest: WAL replay at attach
   kCompaction,       // ingest: overlay fold into a fresh base
+  kNetRead,          // net: draining + framing one socket readable event
+  kNetWrite,         // net: flushing buffered response bytes to a socket
   kNumKinds
 };
 

@@ -56,6 +56,9 @@ struct DiscoveryService::Request {
   bool has_deadline = false;
   Stopwatch since_admission;
   std::promise<ServiceResponse> promise;
+  /// Set for SubmitAsync requests; such a request resolves through the
+  /// callback instead of the promise (see Deliver).
+  std::function<void(ServiceResponse)> done;
   /// Service-wide submission sequence number (the sampling input).
   uint64_t seq = 0;
   /// Armed iff this request was sampled for tracing.
@@ -140,18 +143,41 @@ std::future<ServiceResponse> DiscoveryService::Submit(
     ExampleTable et, std::optional<std::chrono::milliseconds> timeout) {
   auto request = std::make_shared<Request>(std::move(et));
   std::future<ServiceResponse> future = request->promise.get_future();
+  Admit(std::move(request), timeout);
+  return future;
+}
+
+void DiscoveryService::SubmitAsync(
+    ExampleTable et, std::optional<std::chrono::milliseconds> timeout,
+    std::function<void(ServiceResponse)> done) {
+  auto request = std::make_shared<Request>(std::move(et));
+  request->done = std::move(done);
+  Admit(std::move(request), timeout);
+}
+
+void DiscoveryService::Deliver(Request& request, ServiceResponse&& response) {
+  if (request.done) {
+    request.done(std::move(response));
+  } else {
+    request.promise.set_value(std::move(response));
+  }
+}
+
+void DiscoveryService::Admit(
+    std::shared_ptr<Request> request,
+    std::optional<std::chrono::milliseconds> timeout) {
   metrics_.GetCounter("requests_received").Increment();
 
   auto finish_now = [&](RequestStatus status) {
     ServiceResponse response;
     response.status = status;
-    request->promise.set_value(std::move(response));
-    return std::move(future);
+    Deliver(*request, std::move(response));
   };
 
   if (!accepting_.load(std::memory_order_acquire)) {
     metrics_.GetCounter("requests_shutdown").Increment();
-    return finish_now(RequestStatus::kShutdown);
+    finish_now(RequestStatus::kShutdown);
+    return;
   }
 
   std::chrono::milliseconds budget =
@@ -175,14 +201,14 @@ std::future<ServiceResponse> DiscoveryService::Submit(
   if (!admitted) {
     // Queue full (or the pool began stopping underneath us): fast-fail.
     metrics_.GetCounter("requests_rejected").Increment();
-    return finish_now(accepting_.load(std::memory_order_acquire)
-                          ? RequestStatus::kRejected
-                          : RequestStatus::kShutdown);
+    finish_now(accepting_.load(std::memory_order_acquire)
+                   ? RequestStatus::kRejected
+                   : RequestStatus::kShutdown);
+    return;
   }
   metrics_.GetCounter("requests_admitted").Increment();
   metrics_.GetHistogram("queue_depth_at_admission", DepthBuckets())
       .Observe(static_cast<double>(pool_->QueueDepth()));
-  return future;
 }
 
 ServiceResponse DiscoveryService::Discover(
@@ -342,7 +368,7 @@ void DiscoveryService::Run(const std::shared_ptr<Request>& request) {
   }
 
   response.result = std::move(result);
-  request->promise.set_value(std::move(response));
+  Deliver(*request, std::move(response));
 }
 
 std::vector<Trace> DiscoveryService::RecentTraces() const {

@@ -166,6 +166,16 @@ class DiscoveryService {
       ExampleTable et,
       std::optional<std::chrono::milliseconds> timeout = std::nullopt);
 
+  /// Callback flavor of Submit for event-driven frontends (the epoll wire
+  /// server, DESIGN.md §16): `done` fires exactly once with the response —
+  /// on a worker thread for executed requests, or synchronously on the
+  /// submitting thread for fast-fail paths (queue full, shutdown). The
+  /// same admission control, deadlines, metrics, tracing and graceful
+  /// drain apply as for the future flavor.
+  void SubmitAsync(ExampleTable et,
+                   std::optional<std::chrono::milliseconds> timeout,
+                   std::function<void(ServiceResponse)> done);
+
   /// Blocking convenience wrapper around Submit.
   ServiceResponse Discover(
       const ExampleTable& et,
@@ -236,6 +246,13 @@ class DiscoveryService {
  private:
   struct Request;
 
+  /// Shared admission path of Submit/SubmitAsync: deadline arming, trace
+  /// sampling, bounded-queue admission, fast-fail delivery.
+  void Admit(std::shared_ptr<Request> request,
+             std::optional<std::chrono::milliseconds> timeout);
+  /// Resolves the request — through its callback when one is set, else its
+  /// promise. Called exactly once per request.
+  static void Deliver(Request& request, ServiceResponse&& response);
   void Run(const std::shared_ptr<Request>& request);
   void RecordCompaction(const CompactionStats& stats);
   void RefreshGauges();

@@ -32,6 +32,8 @@ std::string ServeUsage() {
       "                 [--timeout-ms T] [--verify-threads N]\n"
       "                 [--algorithm "
       "verifyall|simpleprune|filter|filterexact|weave]\n"
+      "                 [--listen PORT] [--port-file FILE]\n"
+      "                 [--max-conns N] [--idle-timeout-ms T]\n"
       "                 [--metrics-port P] [--trace-sample F]\n"
       "                 [--slow-query-ms T] [--trace-out FILE.json]\n"
       "                 [--shards N] [--shard-mode hash|range]\n"
@@ -118,6 +120,14 @@ ServeArgs ParseServeArgs(int argc, const char* const* argv) {
       args.verify_threads = static_cast<int>(long_value(1, 4096));
     } else if (arg == "--algorithm") {
       if (const char* v = value()) args.algorithm = v;
+    } else if (arg == "--listen") {
+      args.listen_port = static_cast<int>(long_value(0, 65535));
+    } else if (arg == "--port-file") {
+      if (const char* v = value()) args.port_file = v;
+    } else if (arg == "--max-conns") {
+      args.max_conns = static_cast<size_t>(long_value(1, 1'000'000));
+    } else if (arg == "--idle-timeout-ms") {
+      args.idle_timeout_ms = long_value(0, 86'400'000);
     } else if (arg == "--metrics-port") {
       args.metrics_port = static_cast<int>(long_value(0, 65535));
     } else if (arg == "--trace-sample") {

@@ -41,6 +41,20 @@ struct ServeArgs {
   /// manifest instead of splitting at startup. Excludes --shards.
   std::string shardset_path;
 
+  // --- networked serving (DESIGN.md §16) -----------------------------------
+  /// Serve the wire protocol on this loopback TCP port instead of replaying
+  /// a workload in-process. < 0 = batch-replay mode; 0 = ephemeral port.
+  int listen_port = -1;
+  /// Write the bound listen port (one decimal line) here once serving —
+  /// how CI scripts find an ephemeral --listen 0 port.
+  std::string port_file;
+  /// Connection cap for --listen; accepts beyond it get a typed
+  /// kServerBusy error frame.
+  size_t max_conns = 256;
+  /// Idle keep-alive connections are closed (typed kIdleTimeout frame)
+  /// after this many milliseconds; 0 disables the sweep.
+  long long idle_timeout_ms = 60'000;
+
   // --- observability (DESIGN.md §13) ---------------------------------------
   /// Loopback HTTP port serving GET /metrics (Prometheus text) and
   /// GET /traces (Chrome trace JSON). < 0 = no endpoint; 0 = ephemeral.

@@ -1,0 +1,127 @@
+#include "util/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace qbe {
+
+ListenSocket OpenLoopbackListener(uint16_t port, int backlog) {
+  ListenSocket result;
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    result.error = std::string("socket: ") + std::strerror(errno);
+    return result;
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    result.error = std::string("bind 127.0.0.1:") + std::to_string(port) +
+                   ": " + std::strerror(errno);
+    ::close(fd);
+    return result;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  if (::listen(fd, backlog) < 0) {
+    result.error = std::string("listen: ") + std::strerror(errno);
+    ::close(fd);
+    return result;
+  }
+  result.fd = fd;
+  result.port = ntohs(addr.sin_port);
+  return result;
+}
+
+int ConnectTcp(const std::string& host, uint16_t port, std::string* error) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (error != nullptr) *error = "bad IPv4 address " + host;
+    return -1;
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) {
+      *error = std::string("socket: ") + std::strerror(errno);
+    }
+    return -1;
+  }
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    if (error != nullptr) {
+      *error = "connect " + host + ":" + std::to_string(port) + ": " +
+               std::strerror(errno);
+    }
+    ::close(fd);
+    return -1;
+  }
+  // Request/response framing sends small frames; coalescing them behind
+  // Nagle just adds latency.
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+bool SetNonBlocking(int fd, std::string* error) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    if (error != nullptr) {
+      *error = std::string("fcntl(O_NONBLOCK): ") + std::strerror(errno);
+    }
+    return false;
+  }
+  return true;
+}
+
+int AcceptRetry(int listen_fd) {
+  for (;;) {
+    int client = ::accept(listen_fd, nullptr, nullptr);
+    if (client >= 0 || errno != EINTR) return client;
+  }
+}
+
+ssize_t ReadRetry(int fd, void* buf, size_t len) {
+  for (;;) {
+    ssize_t n = ::read(fd, buf, len);
+    if (n >= 0 || errno != EINTR) return n;
+  }
+}
+
+bool WriteAll(int fd, const void* data, size_t len) {
+  const char* p = static_cast<const char*>(data);
+  size_t sent = 0;
+  while (sent < len) {
+    ssize_t w = ::write(fd, p + sent, len - sent);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (w == 0) return false;
+    sent += static_cast<size_t>(w);
+  }
+  return true;
+}
+
+void CloseFd(int* fd) {
+  if (fd != nullptr && *fd >= 0) {
+    ::close(*fd);
+    *fd = -1;
+  }
+}
+
+}  // namespace qbe

@@ -1,0 +1,55 @@
+#ifndef QBE_UTIL_SOCKET_H_
+#define QBE_UTIL_SOCKET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace qbe {
+
+/// Shared BSD-socket plumbing for the process's two listeners — the
+/// metrics HTTP exporter (obs/metrics_http.h) and the discovery wire
+/// server (net/server.h). Everything here retries EINTR and reports
+/// errors as strings; nothing throws. Loopback-only by design: neither
+/// server is ever bound to a routable interface.
+
+/// A bound + listening TCP socket on 127.0.0.1. `port` is the actual
+/// bound port (useful with requested port 0 = ephemeral).
+struct ListenSocket {
+  int fd = -1;
+  uint16_t port = 0;
+  std::string error;
+
+  bool ok() const { return fd >= 0; }
+};
+
+/// socket + SO_REUSEADDR + bind(127.0.0.1:port) + listen. On failure the
+/// result's fd is -1 and `error` names the failing call.
+ListenSocket OpenLoopbackListener(uint16_t port, int backlog = 64);
+
+/// Blocking connect to 127.0.0.1-style `host`:`port` (numeric IPv4 only —
+/// peers are local tools, not DNS names). Returns the connected fd, or -1
+/// with `*error` set.
+int ConnectTcp(const std::string& host, uint16_t port, std::string* error);
+
+/// O_NONBLOCK on. False (with `*error` named) on fcntl failure.
+bool SetNonBlocking(int fd, std::string* error);
+
+/// accept() retrying EINTR. Returns the client fd; -1 means would-block
+/// or a (transient) accept failure — callers in a poll loop just continue.
+int AcceptRetry(int listen_fd);
+
+/// read() retrying EINTR. Same contract as read otherwise.
+ssize_t ReadRetry(int fd, void* buf, size_t len);
+
+/// Writes the whole buffer to a *blocking* fd, retrying EINTR and short
+/// writes. False once write fails for any other reason (peer gone, ...).
+bool WriteAll(int fd, const void* data, size_t len);
+
+/// close(fd) + set to -1; tolerates fd < 0. EINTR on close is not retried
+/// (POSIX leaves the fd state unspecified; retrying can close a stranger).
+void CloseFd(int* fd);
+
+}  // namespace qbe
+
+#endif  // QBE_UTIL_SOCKET_H_

@@ -1,0 +1,400 @@
+// qbe_loadgen — network load generator for the wire protocol (DESIGN.md
+// §16); the client side of `qbe_serve --listen`.
+//
+//   qbe_loadgen --port P [--host 127.0.0.1] [--port-file FILE]
+//               [--requests FILE] [--connections N] [--pipeline D]
+//               [--repeat R] [--rate RPS] [--timeout-ms T] [--json]
+//
+// Closed loop (default): N connections each replay the workload R times,
+// keeping up to D requests pipelined on the wire — offered load tracks
+// service capacity. With --rate RPS the generator runs open loop instead:
+// sends are paced on a fixed schedule split evenly across connections,
+// regardless of how fast replies come back — queueing delay shows up in
+// the latencies instead of throttling the offered load.
+//
+// Latency is measured per request, send to reply, on the generator's
+// clock. The summary reports exact (not bucketed) quantiles; --json emits
+// the same numbers as one JSON object on stdout for scripts and CI.
+//
+// The workload file uses the qbe_serve --requests format (one example
+// table per line; see service/workload.h). Without --requests a built-in
+// retailer workload (the paper's Figure 2 ET and sub-tables) is replayed.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.h"
+#include "service/workload.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+struct LoadgenArgs {
+  std::string host = "127.0.0.1";
+  int port = -1;
+  std::string port_file;
+  std::string requests_file;
+  int connections = 1;
+  int pipeline = 1;
+  int repeat = 1;
+  double rate = 0.0;  // > 0: open loop at this many requests/second total
+  long long timeout_ms = 0;
+  bool json = false;
+  bool show_usage = false;
+  std::string error;
+
+  bool ok() const { return error.empty(); }
+};
+
+const char kUsage[] =
+    "usage: qbe_loadgen --port P [--host H] [--port-file FILE]\n"
+    "                   [--requests FILE] [--connections N] [--pipeline D]\n"
+    "                   [--repeat R] [--rate RPS] [--timeout-ms T] [--json]\n";
+
+bool ParseLong(const char* s, long long* out) {
+  char* end = nullptr;
+  *out = std::strtoll(s, &end, 10);
+  return end != s && *end == '\0';
+}
+
+bool ParseDouble(const char* s, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(s, &end);
+  return end != s && *end == '\0';
+}
+
+LoadgenArgs ParseLoadgenArgs(int argc, const char* const* argv) {
+  LoadgenArgs args;
+  auto fail = [&](const std::string& why) {
+    if (args.error.empty()) args.error = why;
+  };
+  for (int i = 1; i < argc && args.ok(); ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        fail("missing value for " + arg);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    auto long_value = [&](long long lo, long long hi) -> long long {
+      const char* v = value();
+      long long n = 0;
+      if (v == nullptr) return 0;
+      if (!ParseLong(v, &n) || n < lo || n > hi) {
+        fail("bad value for " + arg + ": " + v);
+        return 0;
+      }
+      return n;
+    };
+    if (arg == "--help" || arg == "-h") {
+      args.show_usage = true;
+    } else if (arg == "--host") {
+      if (const char* v = value()) args.host = v;
+    } else if (arg == "--port") {
+      args.port = static_cast<int>(long_value(1, 65535));
+    } else if (arg == "--port-file") {
+      if (const char* v = value()) args.port_file = v;
+    } else if (arg == "--requests") {
+      if (const char* v = value()) args.requests_file = v;
+    } else if (arg == "--connections") {
+      args.connections = static_cast<int>(long_value(1, 4096));
+    } else if (arg == "--pipeline") {
+      args.pipeline = static_cast<int>(long_value(1, 1024));
+    } else if (arg == "--repeat") {
+      args.repeat = static_cast<int>(long_value(1, 1'000'000));
+    } else if (arg == "--rate") {
+      const char* v = value();
+      double d = 0.0;
+      if (v != nullptr && (!ParseDouble(v, &d) || d <= 0.0 || d > 1e9)) {
+        fail("bad value for " + arg + ": " + std::string(v));
+      }
+      args.rate = d;
+    } else if (arg == "--timeout-ms") {
+      args.timeout_ms = long_value(0, 86'400'000);
+    } else if (arg == "--json") {
+      args.json = true;
+    } else {
+      fail("unknown flag " + arg);
+    }
+  }
+  if (args.ok() && args.port < 0 && args.port_file.empty()) {
+    fail("--port (or --port-file) is required");
+  }
+  return args;
+}
+
+/// Per-thread tallies, merged after the run.
+struct ConnStats {
+  std::vector<double> latencies;  // seconds, completed requests only
+  long long ok = 0;
+  long long rejected = 0;
+  long long timed_out = 0;
+  long long other = 0;       // failed / shutdown statuses
+  long long wire_errors = 0; // typed kError frames
+  std::string transport_error;  // first socket-level failure, "" if none
+};
+
+double Quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  double pos = q * static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+void Tally(const qbe::ClientReply& reply, double latency, ConnStats* stats) {
+  stats->latencies.push_back(latency);
+  if (reply.is_error) {
+    stats->wire_errors++;
+    return;
+  }
+  if (reply.response.status == "ok") {
+    stats->ok++;
+  } else if (reply.response.status == "rejected") {
+    stats->rejected++;
+  } else if (reply.response.status == "timed_out") {
+    stats->timed_out++;
+  } else {
+    stats->other++;
+  }
+}
+
+/// Closed loop: at most `pipeline` requests outstanding; the reply stream
+/// is FIFO (the server guarantees per-connection request order), so send
+/// timestamps queue up and pop with each reply.
+void RunClosedLoop(const LoadgenArgs& args,
+                   const std::vector<qbe::WireRequest>& workload,
+                   int conn_index, ConnStats* stats) {
+  qbe::NetClient client(args.host, static_cast<uint16_t>(args.port));
+  if (!client.ok()) {
+    stats->transport_error = client.error();
+    return;
+  }
+  qbe::Stopwatch clock;
+  std::vector<double> send_times;
+  size_t head = 0;  // first unanswered send time
+  uint64_t id = static_cast<uint64_t>(conn_index) << 32;
+  for (int r = 0; r < args.repeat; ++r) {
+    for (size_t q = 0; q < workload.size(); ++q) {
+      while (send_times.size() - head >=
+             static_cast<size_t>(args.pipeline)) {
+        qbe::ClientReply reply;
+        if (!client.Receive(&reply)) {
+          stats->transport_error = client.error();
+          return;
+        }
+        Tally(reply, clock.ElapsedSeconds() - send_times[head++], stats);
+      }
+      // Connections start at different workload offsets so concurrent
+      // clients exercise different requests at the same instant.
+      size_t pick = (q + static_cast<size_t>(conn_index)) % workload.size();
+      qbe::WireRequest request = workload[pick];
+      request.id = ++id;
+      request.deadline_ms = static_cast<uint32_t>(args.timeout_ms);
+      if (!client.Send(request)) {
+        stats->transport_error = client.error();
+        return;
+      }
+      send_times.push_back(clock.ElapsedSeconds());
+    }
+  }
+  while (head < send_times.size()) {
+    qbe::ClientReply reply;
+    if (!client.Receive(&reply)) {
+      stats->transport_error = client.error();
+      return;
+    }
+    Tally(reply, clock.ElapsedSeconds() - send_times[head++], stats);
+  }
+}
+
+/// Open loop: sends fire on a fixed schedule (rate / connections each)
+/// no matter how fast replies return; replies drain between ticks.
+void RunOpenLoop(const LoadgenArgs& args,
+                 const std::vector<qbe::WireRequest>& workload,
+                 int conn_index, ConnStats* stats) {
+  qbe::NetClient client(args.host, static_cast<uint16_t>(args.port));
+  if (!client.ok()) {
+    stats->transport_error = client.error();
+    return;
+  }
+  const double interval =
+      static_cast<double>(args.connections) / args.rate;
+  const long long total =
+      static_cast<long long>(args.repeat) *
+      static_cast<long long>(workload.size());
+  qbe::Stopwatch clock;
+  std::vector<double> send_times;
+  size_t head = 0;
+  uint64_t id = static_cast<uint64_t>(conn_index) << 32;
+  // Stagger connection phases so the aggregate schedule is uniform.
+  double next_send =
+      interval * static_cast<double>(conn_index) / args.connections;
+  for (long long op = 0; op < total;) {
+    double now = clock.ElapsedSeconds();
+    if (now >= next_send) {
+      size_t pick = static_cast<size_t>(
+          (op + static_cast<long long>(conn_index)) %
+          static_cast<long long>(workload.size()));
+      qbe::WireRequest request = workload[pick];
+      request.id = ++id;
+      request.deadline_ms = static_cast<uint32_t>(args.timeout_ms);
+      if (!client.Send(request)) {
+        stats->transport_error = client.error();
+        return;
+      }
+      send_times.push_back(now);
+      next_send += interval;
+      ++op;
+      continue;
+    }
+    int wait_ms = static_cast<int>((next_send - now) * 1000.0);
+    qbe::ClientReply reply;
+    bool got = false;
+    if (!client.TryReceive(&reply, &got, std::max(wait_ms, 1))) {
+      stats->transport_error = client.error();
+      return;
+    }
+    if (got) {
+      Tally(reply, clock.ElapsedSeconds() - send_times[head++], stats);
+    }
+  }
+  while (head < send_times.size()) {
+    qbe::ClientReply reply;
+    if (!client.Receive(&reply)) {
+      stats->transport_error = client.error();
+      return;
+    }
+    Tally(reply, clock.ElapsedSeconds() - send_times[head++], stats);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  LoadgenArgs args = ParseLoadgenArgs(argc, argv);
+  if (args.show_usage) {
+    std::printf("%s", kUsage);
+    return 0;
+  }
+  if (!args.ok()) {
+    std::fprintf(stderr, "qbe_loadgen: %s\n%s", args.error.c_str(), kUsage);
+    return 2;
+  }
+  if (args.port < 0) {
+    std::ifstream pf(args.port_file);
+    int port = 0;
+    if (!(pf >> port) || port <= 0 || port > 65535) {
+      std::fprintf(stderr, "qbe_loadgen: no usable port in %s\n",
+                   args.port_file.c_str());
+      return 1;
+    }
+    args.port = port;
+  }
+
+  std::vector<qbe::ExampleTable> tables;
+  if (!args.requests_file.empty()) {
+    std::string error;
+    if (!qbe::LoadRequestFile(args.requests_file, &tables, &error)) {
+      std::fprintf(stderr, "qbe_loadgen: %s\n", error.c_str());
+      return 1;
+    }
+  } else {
+    for (const char* line :
+         {"Mike|ThinkPad|Office;Mary|iPad|;Bob||Dropbox",
+          "Mike|ThinkPad|Office;Mary|iPad|", "Mike|ThinkPad|Office", "Mike",
+          "Mary|iPad", "Bob||Dropbox;Mike|ThinkPad|Office"}) {
+      tables.push_back(*qbe::ParseRequestLine(line));
+    }
+  }
+  if (tables.empty()) {
+    std::fprintf(stderr, "qbe_loadgen: workload is empty\n");
+    return 1;
+  }
+  std::vector<qbe::WireRequest> workload;
+  workload.reserve(tables.size());
+  for (const qbe::ExampleTable& et : tables) {
+    workload.push_back(qbe::WireRequest::FromExampleTable(et, /*id=*/0));
+  }
+
+  qbe::Stopwatch wall;
+  std::vector<ConnStats> stats(static_cast<size_t>(args.connections));
+  std::vector<std::thread> threads;
+  for (int c = 0; c < args.connections; ++c) {
+    threads.emplace_back([&, c] {
+      if (args.rate > 0.0) {
+        RunOpenLoop(args, workload, c, &stats[static_cast<size_t>(c)]);
+      } else {
+        RunClosedLoop(args, workload, c, &stats[static_cast<size_t>(c)]);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  double seconds = wall.ElapsedSeconds();
+
+  std::vector<double> latencies;
+  long long ok = 0, rejected = 0, timed_out = 0, other = 0, wire_errors = 0;
+  int failed_connections = 0;
+  for (const ConnStats& s : stats) {
+    latencies.insert(latencies.end(), s.latencies.begin(), s.latencies.end());
+    ok += s.ok;
+    rejected += s.rejected;
+    timed_out += s.timed_out;
+    other += s.other;
+    wire_errors += s.wire_errors;
+    if (!s.transport_error.empty()) {
+      ++failed_connections;
+      std::fprintf(stderr, "qbe_loadgen: connection failed: %s\n",
+                   s.transport_error.c_str());
+    }
+  }
+  std::sort(latencies.begin(), latencies.end());
+  long long completed = static_cast<long long>(latencies.size());
+  double mean = 0.0;
+  for (double l : latencies) mean += l;
+  if (completed > 0) mean /= static_cast<double>(completed);
+  double throughput = seconds > 0 ? completed / seconds : 0.0;
+  double p50 = Quantile(latencies, 0.50);
+  double p90 = Quantile(latencies, 0.90);
+  double p99 = Quantile(latencies, 0.99);
+  double max = latencies.empty() ? 0.0 : latencies.back();
+
+  if (args.json) {
+    std::printf(
+        "{\"mode\":\"%s\",\"connections\":%d,\"pipeline\":%d,"
+        "\"rate\":%.3f,\"completed\":%lld,\"ok\":%lld,\"rejected\":%lld,"
+        "\"timed_out\":%lld,\"other\":%lld,\"wire_errors\":%lld,"
+        "\"failed_connections\":%d,\"seconds\":%.6f,"
+        "\"throughput_rps\":%.3f,\"latency_mean_s\":%.6f,"
+        "\"latency_p50_s\":%.6f,\"latency_p90_s\":%.6f,"
+        "\"latency_p99_s\":%.6f,\"latency_max_s\":%.6f}\n",
+        args.rate > 0 ? "open" : "closed", args.connections, args.pipeline,
+        args.rate, completed, ok, rejected, timed_out, other, wire_errors,
+        failed_connections, seconds, throughput, mean, p50, p90, p99, max);
+  } else {
+    std::printf(
+        "%s loop, %d connections, pipeline %d%s: "
+        "%lld completed in %.3fs (%.1f req/s)\n"
+        "  %lld ok, %lld rejected, %lld timed out, %lld other, "
+        "%lld wire errors\n"
+        "  latency mean %.3fms p50 %.3fms p90 %.3fms p99 %.3fms max %.3fms\n",
+        args.rate > 0 ? "open" : "closed", args.connections, args.pipeline,
+        args.rate > 0
+            ? (" at " + std::to_string(args.rate) + " req/s").c_str()
+            : "",
+        completed, seconds, throughput, ok, rejected, timed_out, other,
+        wire_errors, mean * 1e3, p50 * 1e3, p90 * 1e3, p99 * 1e3, max * 1e3);
+  }
+  return failed_connections > 0 ? 1 : 0;
+}

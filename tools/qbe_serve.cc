@@ -1,6 +1,12 @@
-// qbe_serve — batch driver for the concurrent DiscoveryService: replays a
-// workload of example-table requests over N client threads against one
-// shared service and prints the metrics dump.
+// qbe_serve — driver for the concurrent DiscoveryService. Two modes:
+//
+//  - batch replay (default): replays a workload of example-table requests
+//    over N client threads against one shared service and prints the
+//    metrics dump;
+//  - network serving (--listen PORT): serves the binary wire protocol
+//    (DESIGN.md §16) on loopback TCP until SIGINT/SIGTERM, then drains
+//    gracefully. `qbe_loadgen` is the matching client. --listen 0 binds an
+//    ephemeral port; --port-file tells scripts where it landed.
 //
 //   qbe_serve [--dataset retailer|imdb] [--scale S]
 //             [--snapshot FILE.qbes] [--wal FILE.qbel]
@@ -8,6 +14,8 @@
 //             [--clients N] [--workers N] [--queue-depth N]
 //             [--append-mix P] [--compact-after N] [--compact-snapshot FILE]
 //             [--timeout-ms T] [--algorithm verifyall|simpleprune|filter|weave]
+//             [--listen PORT] [--port-file FILE] [--max-conns N]
+//             [--idle-timeout-ms T]
 //             [--metrics-port P] [--trace-sample F] [--slow-query-ms T]
 //             [--trace-out FILE.json]
 //             [--shards N] [--shard-mode hash|range] [--shard-seed S]
@@ -49,6 +57,8 @@
 // Without --requests, a built-in workload is used: the Figure 2 ET and its
 // sub-tables for the retailer, EtSource-sampled tables for imdb.
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -63,33 +73,20 @@
 #include "datagen/imdb_like.h"
 #include "datagen/retailer.h"
 #include "exec/executor.h"
+#include "net/server.h"
 #include "obs/metrics_http.h"
 #include "schema/schema_graph.h"
 #include "service/discovery_service.h"
 #include "service/serve_args.h"
+#include "service/workload.h"
 #include "shard/partition.h"
 #include "util/stopwatch.h"
-#include "util/string_util.h"
 
 namespace {
 
-/// "Mike|ThinkPad|Office;Mary|iPad|" -> ExampleTable; nullopt on a ragged
-/// or empty line.
-std::optional<qbe::ExampleTable> ParseRequestLine(const std::string& line) {
-  std::vector<std::vector<std::string>> rows;
-  for (const std::string& row_text : qbe::SplitString(line, ';')) {
-    rows.push_back(qbe::SplitString(row_text, '|'));
-  }
-  if (rows.empty() || rows[0].empty()) return std::nullopt;
-  size_t width = rows[0].size();
-  qbe::ExampleTable et =
-      qbe::ExampleTable::WithColumns(static_cast<int>(width));
-  for (std::vector<std::string>& row : rows) {
-    row.resize(width);
-    et.AddRow(row);
-  }
-  return et;
-}
+std::atomic<bool> g_shutdown_requested{false};
+
+void HandleShutdownSignal(int /*sig*/) { g_shutdown_requested.store(true); }
 
 std::vector<qbe::ExampleTable> BuiltinRetailerWorkload() {
   std::vector<qbe::ExampleTable> requests;
@@ -97,7 +94,7 @@ std::vector<qbe::ExampleTable> BuiltinRetailerWorkload() {
   for (const char* line :
        {"Mike|ThinkPad|Office;Mary|iPad|", "Mike|ThinkPad|Office", "Mike",
         "Mary|iPad", "Bob||Dropbox;Mike|ThinkPad|Office"}) {
-    requests.push_back(*ParseRequestLine(line));
+    requests.push_back(*qbe::ParseRequestLine(line));
   }
   return requests;
 }
@@ -182,30 +179,25 @@ int main(int argc, char** argv) {
                             : args.dataset.c_str(),
               db.num_relations(), db.foreign_keys().size());
 
+  // Network mode serves whatever clients send; it needs no replay workload.
+  const bool listen_mode = args.listen_port >= 0;
   std::vector<qbe::ExampleTable> requests;
   if (!args.requests_file.empty()) {
-    std::ifstream in(args.requests_file);
-    if (!in) {
-      std::fprintf(stderr, "failed to read %s\n", args.requests_file.c_str());
+    std::string workload_error;
+    if (!qbe::LoadRequestFile(args.requests_file, &requests,
+                              &workload_error)) {
+      std::fprintf(stderr, "qbe_serve: %s\n", workload_error.c_str());
       return 1;
     }
-    std::string line;
-    while (std::getline(in, line)) {
-      if (line.empty() || line[0] == '#') continue;
-      std::optional<qbe::ExampleTable> et = ParseRequestLine(line);
-      if (!et.has_value()) {
-        std::fprintf(stderr, "bad request line: %s\n", line.c_str());
-        return 1;
-      }
-      requests.push_back(std::move(*et));
-    }
+  } else if (listen_mode) {
+    // No workload needed.
   } else if (args.dataset == "retailer" && !from_snapshot) {
     requests = BuiltinRetailerWorkload();
   } else {
     // Snapshots can hold any dataset; sample ETs from the actual contents.
     requests = BuiltinImdbWorkload(db);
   }
-  if (requests.empty()) {
+  if (requests.empty() && !listen_mode) {
     std::fprintf(stderr, "no requests to replay\n");
     return 1;
   }
@@ -297,6 +289,63 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "warning: metrics endpoint not started: %s\n",
                    http->error().c_str());
     }
+  }
+
+  if (listen_mode) {
+    qbe::NetServerOptions net_options;
+    net_options.port = static_cast<uint16_t>(args.listen_port);
+    net_options.max_connections = args.max_conns;
+    net_options.idle_timeout_ms = static_cast<int>(args.idle_timeout_ms);
+    net_options.trace_sample = args.trace_sample;
+    qbe::NetServer server(&service, net_options);
+    if (!server.ok()) {
+      std::fprintf(stderr, "qbe_serve: cannot listen on port %d: %s\n",
+                   args.listen_port, server.error().c_str());
+      return 1;
+    }
+    if (!args.port_file.empty()) {
+      std::ofstream pf(args.port_file);
+      pf << server.port() << "\n";
+      if (!pf) {
+        std::fprintf(stderr, "qbe_serve: failed to write %s\n",
+                     args.port_file.c_str());
+        return 1;
+      }
+    }
+    std::printf("serving wire protocol on 127.0.0.1:%u (Ctrl-C to stop)\n",
+                server.port());
+    std::fflush(stdout);
+    std::signal(SIGINT, HandleShutdownSignal);
+    std::signal(SIGTERM, HandleShutdownSignal);
+    while (!g_shutdown_requested.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    std::printf("shutdown requested; draining\n");
+    server.Stop();
+    std::string flush_error;
+    if (!service.Flush(&flush_error)) {
+      std::fprintf(stderr, "warning: WAL flush failed: %s\n",
+                   flush_error.c_str());
+    }
+    if (http != nullptr) http->Stop();
+    if (!args.trace_out.empty()) {
+      // Request traces plus the server's per-connection net traces.
+      std::vector<qbe::Trace> traces = service.RecentTraces();
+      for (qbe::Trace& t : server.RecentNetTraces()) {
+        traces.push_back(std::move(t));
+      }
+      std::ofstream out(args.trace_out);
+      if (out) {
+        out << qbe::ChromeTraceJson(traces);
+        std::printf("wrote %zu traces to %s\n", traces.size(),
+                    args.trace_out.c_str());
+      } else {
+        std::fprintf(stderr, "failed to write %s\n", args.trace_out.c_str());
+      }
+    }
+    service.Shutdown();
+    std::printf("%s", service.MetricsDump().c_str());
+    return 0;
   }
 
   // Each client replays the whole request list `repeat` times, offset by
